@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The rpbench smoke tests run at tiny scales with raised sweep thresholds;
+// full-scale output is recorded in EXPERIMENTS.md.
+
+func TestBenchTable8Smoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.05", "-seed", "2", "-dataset", "shop14",
+		"-table8-sup-pct", "3", "table8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"PF patterns", "Recurring patterns", "p-patterns", "table8 done"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBenchFigure8Smoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.05", "-seed", "2", "figure8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "uttarakhand") {
+		t.Errorf("figure8 output missing tags:\n%s", out.String())
+	}
+}
+
+func TestBenchFigure7Smoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.03", "-seed", "2",
+		"-sweep-from", "15", "-sweep-to", "20", "-sweep-step", "5", "figure7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "minRec=2") {
+		t.Errorf("figure7 output missing series:\n%s", out.String())
+	}
+}
+
+func TestBenchArgErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing experiment must fail")
+	}
+	if err := run([]string{"nonsense"}, &out); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if err := run([]string{"-dataset", "nope", "table5"}, &out); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

@@ -1,0 +1,107 @@
+// Command rpcompare runs the three pattern models of the paper's Section
+// 5.4 — periodic-frequent patterns, recurring patterns and p-patterns — on
+// one transaction file with shared thresholds, and reports their counts,
+// longest patterns and a sample of each (an interactive version of Table 8).
+//
+// Example:
+//
+//	rpgen -dataset shop14 -out shop.tdb
+//	rpcompare -input shop.tdb -per 1440 -sup-pct 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/recurpat/rp/internal/baseline/pfgrowth"
+	"github.com/recurpat/rp/internal/baseline/ppattern"
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rpcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rpcompare", flag.ContinueOnError)
+	var (
+		input  = fs.String("input", "-", "transaction file ('-' for stdin)")
+		per    = fs.Int64("per", 1440, "period threshold")
+		window = fs.Int64("window", 1, "p-pattern time tolerance w")
+		supPct = fs.Float64("sup-pct", 0.1, "minSup and minPS as a percentage of |TDB|")
+		minRec = fs.Int("minrec", 1, "minRec for the recurring pattern model")
+		sample = fs.Int("sample", 3, "number of example patterns to print per model")
+		limit  = fs.Int("limit", 2_000_000, "p-pattern safety ceiling (0 = unlimited)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	db, err := tsdb.ReadAny(r)
+	if err != nil {
+		return err
+	}
+	minSup := core.MinPSFromPercent(db, *supPct)
+	fmt.Fprintln(out, "# db:", tsdb.ComputeStats(db))
+	fmt.Fprintf(out, "# per=%d w=%d minSup=minPS=%d (%.2f%%) minRec=%d\n\n",
+		*per, *window, minSup, *supPct, *minRec)
+
+	pf, err := pfgrowth.Mine(db, pfgrowth.Options{MinSup: minSup, MaxPer: *per, Limit: *limit})
+	if err != nil {
+		return err
+	}
+	pfTrunc := ""
+	if pf.Truncated {
+		pfTrunc = " (truncated at the safety ceiling)"
+	}
+	fmt.Fprintf(out, "periodic-frequent patterns: %d (max length %d)%s\n", len(pf.Patterns), pf.MaxLen(), pfTrunc)
+	for i := 0; i < *sample && i < len(pf.Patterns); i++ {
+		p := pf.Patterns[i]
+		fmt.Fprintf(out, "  %s sup=%d periodicity=%d\n", db.FormatPattern(p.Items), p.Support, p.Periodicity)
+	}
+
+	rec, err := core.Mine(db, core.Options{Per: *per, MinPS: minSup, MinRec: *minRec})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recurring patterns:         %d (max length %d)\n", len(rec.Patterns), rec.MaxLen())
+	for i := 0; i < *sample && i < len(rec.Patterns); i++ {
+		fmt.Fprintf(out, "  %s\n", rec.Patterns[i].Format(db.Dict))
+	}
+
+	// minSup-1: the p-pattern threshold counts inter-arrival times, not
+	// occurrences (see bench.Table8).
+	ppMinSup := minSup - 1
+	if ppMinSup < 1 {
+		ppMinSup = 1
+	}
+	pp, err := ppattern.Mine(db, ppattern.Options{Per: *per, Window: *window, MinSup: ppMinSup, Limit: *limit})
+	if err != nil {
+		return err
+	}
+	trunc := ""
+	if pp.Truncated {
+		trunc = " (truncated at the safety ceiling)"
+	}
+	fmt.Fprintf(out, "p-patterns:                 %d (max length %d)%s\n", len(pp.Patterns), pp.MaxLen(), trunc)
+	for i := 0; i < *sample && i < len(pp.Patterns); i++ {
+		p := pp.Patterns[i]
+		fmt.Fprintf(out, "  %s sup=%d periodic=%d\n", db.FormatPattern(p.Items), p.Support, p.Periodic)
+	}
+	return nil
+}

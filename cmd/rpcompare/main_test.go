@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeInput(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	// Dense pair x,y plus a rare bursty pair r,s in two windows.
+	for ts := 1; ts <= 200; ts++ {
+		row := "x y"
+		if (ts >= 20 && ts < 40) || (ts >= 120 && ts < 140) {
+			row += " r s"
+		}
+		b.WriteString(strings.Join([]string{itoa(ts), row}, "\t") + "\n")
+	}
+	path := filepath.Join(t.TempDir(), "cmp.tdb")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func itoa(n int) string {
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestCompareRuns(t *testing.T) {
+	path := writeInput(t)
+	var out bytes.Buffer
+	err := run([]string{"-input", path, "-per", "5", "-sup-pct", "8", "-minrec", "2", "-sample", "20"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"periodic-frequent patterns:", "recurring patterns:", "p-patterns:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// The rare bursty pair must show up for the recurring model at
+	// minRec=2; PF patterns (complete cyclicity) must exclude it.
+	if !strings.Contains(s, "{r,s}") && !strings.Contains(s, "{s,r}") {
+		t.Errorf("recurring sample missing the bursty pair:\n%s", s)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-input", "/does/not/exist"}, &out); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

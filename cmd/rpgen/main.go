@@ -1,0 +1,70 @@
+// Command rpgen generates the evaluation datasets of the paper as text
+// transaction files: the Quest-style synthetic T10I4D100K, the Shop-14
+// clickstream simulation, and the Twitter hashtag-stream simulation.
+//
+// Example:
+//
+//	rpgen -dataset twitter -scale 0.1 -seed 7 -out twitter.tdb
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/recurpat/rp/internal/bench"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rpgen", flag.ContinueOnError)
+	var (
+		dataset = fs.String("dataset", "", "dataset to generate: t10i4d100k, shop14 or twitter")
+		scale   = fs.Float64("scale", 1.0, "size relative to the paper's dataset")
+		seed    = fs.Uint64("seed", 1, "generator seed")
+		out     = fs.String("out", "-", "output file ('-' for stdout)")
+		events  = fs.Bool("events", false, "also print the planted burst events (twitter only) to stderr")
+		binary  = fs.Bool("binary", false, "write the compact binary format instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := bench.Load(*dataset, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	if *events {
+		for _, e := range d.Events {
+			fmt.Fprintf(os.Stderr, "event %v windows=%v rate=%.2f\n", e.Tags, e.Windows, e.Rate)
+		}
+	}
+	var w io.Writer = stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	write := tsdb.Write
+	if *binary {
+		write = tsdb.WriteBinary
+	}
+	if err := write(w, d.DB); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "rpgen:", d.Name, tsdb.ComputeStats(d.DB))
+	return nil
+}

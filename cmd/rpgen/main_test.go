@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func TestGenerateToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shop.tdb")
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "shop14", "-scale", "0.02", "-seed", "5", "-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db, err := tsdb.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 {
+		t.Fatal("generated file has no transactions")
+	}
+	if err := db.Validate(); err != nil {
+		t.Errorf("generated DB invalid: %v", err)
+	}
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "twitter", "-scale", "0.01", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\t") {
+		t.Error("no transactions written to stdout")
+	}
+}
+
+func TestGenerateUnknownDataset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "nope"}, &out); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag must fail")
+	}
+}
+
+func TestGenerateBinary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shop.rpdb")
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "shop14", "-scale", "0.02", "-seed", "5",
+		"-binary", "-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db, err := tsdb.ReadAny(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 {
+		t.Fatal("binary file has no transactions")
+	}
+}

@@ -1,0 +1,130 @@
+// Command rpmine discovers recurring patterns in a time-based transactional
+// database file.
+//
+// The input format is one transaction per line: "timestamp<TAB>item item
+// ...". Thresholds follow the paper: -per bounds the inter-arrival time of
+// a periodic appearance, -minps is the minimum periodic support of an
+// interesting interval (absolute count, or a percentage of |TDB| with
+// -minps-pct), and -minrec is the minimum number of interesting intervals.
+//
+// Example:
+//
+//	rpgen -dataset shop14 -out shop.tdb
+//	rpmine -input shop.tdb -per 720 -minps-pct 0.2 -minrec 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/recurpat/rp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rpmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rpmine", flag.ContinueOnError)
+	var (
+		input    = fs.String("input", "-", "transaction file to mine ('-' for stdin)")
+		per      = fs.Int64("per", 0, "period threshold (required, timestamp units)")
+		minPS    = fs.Int("minps", 0, "minimum periodic support (absolute)")
+		minPSPct = fs.Float64("minps-pct", 0, "minimum periodic support as a percentage of |TDB| (alternative to -minps)")
+		minRec   = fs.Int("minrec", 1, "minimum recurrence")
+		maxLen   = fs.Int("maxlen", 0, "maximum pattern length (0 = unlimited)")
+		parallel = fs.Int("parallel", 0, "mine top-level items with this many goroutines (0/1 = sequential)")
+		stats    = fs.Bool("stats", false, "print database and search statistics")
+		tsv      = fs.Bool("tsv", false, "tab-separated output instead of the pattern notation")
+		format   = fs.String("format", "", "output format: text (default), tsv, json or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	db, err := rp.ReadDB(r) // auto-detects text vs binary
+	if err != nil {
+		return err
+	}
+	if *minPS == 0 && *minPSPct > 0 {
+		*minPS = rp.MinPSFromPercent(db, *minPSPct)
+	}
+	o := rp.Options{
+		Per:          *per,
+		MinPS:        *minPS,
+		MinRec:       *minRec,
+		MaxLen:       *maxLen,
+		Parallelism:  *parallel,
+		CollectStats: *stats,
+	}
+	if *stats {
+		fmt.Fprintln(out, "# db:", rp.ComputeStats(db))
+		fmt.Fprintf(out, "# thresholds: per=%d minPS=%d minRec=%d\n", o.Per, o.MinPS, o.MinRec)
+	}
+	res, err := rp.MineRaw(db, o)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(out, "# search: candidates=%d examined=%d pruned=%d treeNodes=%d depth=%d\n",
+			res.Stats.CandidateItems, res.Stats.PatternsExamined, res.Stats.PatternsPruned,
+			res.Stats.TreeNodes, res.Stats.MaxDepth)
+		fmt.Fprintf(out, "# patterns: %d (max length %d)\n", len(res.Patterns), res.MaxLen())
+	}
+
+	mode := *format
+	if mode == "" {
+		mode = "text"
+		if *tsv {
+			mode = "tsv"
+		}
+	}
+	switch mode {
+	case "json", "csv":
+		named := make([]rp.Pattern, len(res.Patterns))
+		for i, p := range res.Patterns {
+			named[i] = rp.Pattern{
+				Items:      db.PatternNames(p.Items),
+				Support:    p.Support,
+				Recurrence: p.Recurrence,
+				Intervals:  p.Intervals,
+			}
+		}
+		if mode == "json" {
+			return rp.WritePatternsJSON(out, named)
+		}
+		return rp.WritePatternsCSV(out, named)
+	case "tsv":
+		for _, p := range res.Patterns {
+			names := db.PatternNames(p.Items)
+			ivs := make([]string, len(p.Intervals))
+			for i, iv := range p.Intervals {
+				ivs[i] = fmt.Sprintf("%d:%d:%d", iv.Start, iv.End, iv.PS)
+			}
+			fmt.Fprintf(out, "%s\t%d\t%d\t%s\n",
+				strings.Join(names, " "), p.Support, p.Recurrence, strings.Join(ivs, ","))
+		}
+	case "text":
+		for _, p := range res.Patterns {
+			fmt.Fprintln(out, p.Format(db.Dict))
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want text, tsv, json or csv)", mode)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/recurpat/rp"
+)
+
+const paperInput = `1	a b g
+2	a c d
+3	a b e f
+4	a b c d
+5	c d e f g
+6	e f g
+7	a b c g
+9	c d
+10	c d e f
+11	a b e f
+12	a b c d e f g
+14	a b g
+`
+
+func writeInput(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "paper.tdb")
+	if err := os.WriteFile(path, []byte(paperInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMinePaperFile(t *testing.T) {
+	path := writeInput(t)
+	var out bytes.Buffer
+	err := run([]string{"-input", path, "-per", "2", "-minps", "3", "-minrec", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d patterns, want 8:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(out.String(), "{a,b} [sup=7 rec=2") {
+		t.Errorf("missing {a,b} row:\n%s", out.String())
+	}
+}
+
+func TestMineTSVAndStats(t *testing.T) {
+	path := writeInput(t)
+	var out bytes.Buffer
+	err := run([]string{"-input", path, "-per", "2", "-minps", "3", "-minrec", "2",
+		"-tsv", "-stats"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# db:") || !strings.Contains(s, "# search:") {
+		t.Errorf("stats header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "a b\t7\t2\t1:4:3,11:14:3") {
+		t.Errorf("TSV row missing:\n%s", s)
+	}
+}
+
+func TestMinePercentThreshold(t *testing.T) {
+	path := writeInput(t)
+	var out bytes.Buffer
+	// 25% of 12 transactions = 3, same result as -minps 3.
+	err := run([]string{"-input", path, "-per", "2", "-minps-pct", "25", "-minrec", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out.String()), "\n")); got != 8 {
+		t.Fatalf("got %d patterns, want 8", got)
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	path := writeInput(t)
+	var out bytes.Buffer
+	if err := run([]string{"-input", "/does/not/exist", "-per", "2", "-minps", "3"}, &out); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := run([]string{"-input", path, "-per", "0", "-minps", "3"}, &out); err == nil {
+		t.Error("per=0 must fail")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag must fail")
+	}
+}
+
+func TestMineJSONAndCSVFormats(t *testing.T) {
+	path := writeInput(t)
+	var out bytes.Buffer
+	err := run([]string{"-input", path, "-per", "2", "-minps", "3", "-minrec", "2",
+		"-format", "json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns, err := rp.ReadPatternsJSON(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != 8 {
+		t.Fatalf("JSON: got %d patterns, want 8", len(patterns))
+	}
+
+	out.Reset()
+	err = run([]string{"-input", path, "-per", "2", "-minps", "3", "-minrec", "2",
+		"-format", "csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns, err = rp.ReadPatternsCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != 8 {
+		t.Fatalf("CSV: got %d patterns, want 8", len(patterns))
+	}
+
+	out.Reset()
+	if err := run([]string{"-input", path, "-per", "2", "-minps", "3",
+		"-format", "nonsense"}, &out); err == nil {
+		t.Error("unknown format must fail")
+	}
+}

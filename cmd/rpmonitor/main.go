@@ -1,0 +1,114 @@
+// Command rpmonitor watches a live transaction stream for patterns
+// becoming (or ceasing to be) recurring inside a sliding time window — the
+// online face of the recurring pattern model, for uses like alerting when
+// a failure signature starts firing periodically.
+//
+// It reads transactions from stdin in the usual text format
+// ("timestamp<TAB>item item ..."), evaluates each watched pattern after
+// every transaction, and prints an alert line on each state transition:
+//
+//	RECURRING  ts=10080 rec=2 {sev1-linkdown,sev1-bgp-flap}
+//	quiet      ts=12000 rec=0 {sev1-linkdown,sev1-bgp-flap}
+//
+// Example:
+//
+//	rpgen -dataset shop14 -scale 0.1 | rpmonitor -per 360 -minps 30 -window 10080 -watch cat22,cat37
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/ext"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rpmonitor:", err)
+		os.Exit(1)
+	}
+}
+
+type watchList [][]string
+
+func (w *watchList) String() string { return fmt.Sprint([][]string(*w)) }
+func (w *watchList) Set(v string) error {
+	items := strings.Split(v, ",")
+	for i := range items {
+		items[i] = strings.TrimSpace(items[i])
+		if items[i] == "" {
+			return fmt.Errorf("empty item in watch pattern %q", v)
+		}
+	}
+	*w = append(*w, items)
+	return nil
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("rpmonitor", flag.ContinueOnError)
+	var watch watchList
+	var (
+		per    = fs.Int64("per", 0, "period threshold (required)")
+		minPS  = fs.Int("minps", 0, "minimum periodic support (required)")
+		minRec = fs.Int("minrec", 1, "minimum recurrence")
+		window = fs.Int64("window", 0, "sliding window width in timestamp units (required)")
+		final  = fs.Bool("final", true, "print the patterns recurring at end of stream")
+	)
+	fs.Var(&watch, "watch", "comma-separated pattern to watch (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := ext.NewMonitor(core.Options{Per: *per, MinPS: *minPS, MinRec: *minRec}, *window, watch)
+	if err != nil {
+		return err
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tsStr, rest, ok := strings.Cut(line, "\t")
+		if !ok {
+			tsStr, rest, ok = strings.Cut(line, " ")
+			if !ok {
+				return fmt.Errorf("line %d: missing item list", lineNo)
+			}
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(tsStr), 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad timestamp %q", lineNo, tsStr)
+		}
+		alerts, err := m.Observe(ts, strings.Fields(rest)...)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		for _, a := range alerts {
+			state := "quiet"
+			if a.Recurring {
+				state = "RECURRING"
+			}
+			fmt.Fprintf(out, "%-9s ts=%d rec=%d {%s}\n",
+				state, a.TS, a.Recurrence, strings.Join(a.Pattern, ","))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if *final {
+		for _, p := range m.Recurring() {
+			fmt.Fprintf(out, "final: recurring {%s}\n", strings.Join(p, ","))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMonitorStream(t *testing.T) {
+	var in strings.Builder
+	// Burst of x,y at 1-3, quiet, burst again at 50-52.
+	for _, ts := range []int{1, 2, 3, 50, 51, 52} {
+		in.WriteString(strings.Join([]string{itoa(ts), "x y"}, "\t") + "\n")
+	}
+	in.WriteString("200\tz\n")
+	var out bytes.Buffer
+	err := run([]string{"-per", "2", "-minps", "3", "-minrec", "1", "-window", "100",
+		"-watch", "x,y"}, strings.NewReader(in.String()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "RECURRING ts=3") {
+		t.Errorf("missing recurrence alert:\n%s", s)
+	}
+	if !strings.Contains(s, "quiet     ts=200") {
+		t.Errorf("missing quiet alert after window slide:\n%s", s)
+	}
+}
+
+func TestMonitorFinalState(t *testing.T) {
+	in := "1\ta\n2\ta\n3\ta\n"
+	var out bytes.Buffer
+	err := run([]string{"-per", "2", "-minps", "3", "-window", "100", "-watch", "a"},
+		strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "final: recurring {a}") {
+		t.Errorf("missing final state:\n%s", out.String())
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-per", "2", "-minps", "3", "-window", "10"},
+		strings.NewReader(""), &out); err == nil {
+		t.Error("no watch patterns must fail")
+	}
+	if err := run([]string{"-per", "2", "-minps", "3", "-window", "10", "-watch", "a,,b"},
+		strings.NewReader(""), &out); err == nil {
+		t.Error("empty item in watch pattern must fail")
+	}
+	if err := run([]string{"-per", "2", "-minps", "3", "-window", "10", "-watch", "a"},
+		strings.NewReader("oops\n"), &out); err == nil {
+		t.Error("garbage input must fail")
+	}
+	if err := run([]string{"-per", "2", "-minps", "3", "-window", "10", "-watch", "a"},
+		strings.NewReader("5\ta\n3\ta\n"), &out); err == nil {
+		t.Error("out-of-order stream must fail")
+	}
+	if err := run([]string{"-badflag"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad flag must fail")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

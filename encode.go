@@ -1,0 +1,94 @@
+package rp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePatternsJSON serializes patterns as a JSON array. Intervals keep
+// their Start/End/PS fields, so downstream tooling can reconstruct the
+// paper's pattern expression (Definition 9) exactly.
+func WritePatternsJSON(w io.Writer, patterns []Pattern) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(patterns)
+}
+
+// ReadPatternsJSON parses the output of WritePatternsJSON.
+func ReadPatternsJSON(r io.Reader) ([]Pattern, error) {
+	var patterns []Pattern
+	if err := json.NewDecoder(r).Decode(&patterns); err != nil {
+		return nil, fmt.Errorf("rp: decoding patterns: %w", err)
+	}
+	return patterns, nil
+}
+
+// WritePatternsCSV serializes patterns as CSV with the header
+//
+//	items,support,recurrence,intervals
+//
+// where items are space-separated and intervals are semicolon-separated
+// "start:end:ps" triples.
+func WritePatternsCSV(w io.Writer, patterns []Pattern) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"items", "support", "recurrence", "intervals"}); err != nil {
+		return err
+	}
+	for _, p := range patterns {
+		ivs := make([]string, len(p.Intervals))
+		for i, iv := range p.Intervals {
+			ivs[i] = fmt.Sprintf("%d:%d:%d", iv.Start, iv.End, iv.PS)
+		}
+		row := []string{
+			strings.Join(p.Items, " "),
+			strconv.Itoa(p.Support),
+			strconv.Itoa(p.Recurrence),
+			strings.Join(ivs, ";"),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPatternsCSV parses the output of WritePatternsCSV.
+func ReadPatternsCSV(r io.Reader) ([]Pattern, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("rp: reading pattern CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("rp: pattern CSV has no header")
+	}
+	patterns := make([]Pattern, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 4 {
+			return nil, fmt.Errorf("rp: pattern CSV row %d: want 4 columns, got %d", i+2, len(row))
+		}
+		p := Pattern{Items: strings.Fields(row[0])}
+		if p.Support, err = strconv.Atoi(row[1]); err != nil {
+			return nil, fmt.Errorf("rp: pattern CSV row %d: bad support: %w", i+2, err)
+		}
+		if p.Recurrence, err = strconv.Atoi(row[2]); err != nil {
+			return nil, fmt.Errorf("rp: pattern CSV row %d: bad recurrence: %w", i+2, err)
+		}
+		if row[3] != "" {
+			for _, part := range strings.Split(row[3], ";") {
+				var iv Interval
+				if _, err := fmt.Sscanf(part, "%d:%d:%d", &iv.Start, &iv.End, &iv.PS); err != nil {
+					return nil, fmt.Errorf("rp: pattern CSV row %d: bad interval %q: %w", i+2, part, err)
+				}
+				p.Intervals = append(p.Intervals, iv)
+			}
+		}
+		patterns = append(patterns, p)
+	}
+	return patterns, nil
+}

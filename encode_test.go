@@ -1,0 +1,82 @@
+package rp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func minedPaperPatterns(t *testing.T) []Pattern {
+	t.Helper()
+	db := FromEvents(paperEvents())
+	patterns, err := Mine(db, Options{Per: 2, MinPS: 3, MinRec: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return patterns
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	patterns := minedPaperPatterns(t)
+	var buf bytes.Buffer
+	if err := WritePatternsJSON(&buf, patterns); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPatternsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, patterns) {
+		t.Errorf("JSON round trip changed patterns:\ngot  %+v\nwant %+v", got, patterns)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	patterns := minedPaperPatterns(t)
+	var buf bytes.Buffer
+	if err := WritePatternsCSV(&buf, patterns); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "items,support,recurrence,intervals\n") {
+		t.Errorf("missing header:\n%s", buf.String())
+	}
+	got, err := ReadPatternsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, patterns) {
+		t.Errorf("CSV round trip changed patterns:\ngot  %+v\nwant %+v", got, patterns)
+	}
+}
+
+func TestReadPatternsCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"items,support,recurrence,intervals\na b,x,2,1:2:3\n",
+		"items,support,recurrence,intervals\na b,2,x,1:2:3\n",
+		"items,support,recurrence,intervals\na b,2,2,nonsense\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadPatternsCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadPatternsCSV(%q) should fail", in)
+		}
+	}
+}
+
+func TestReadPatternsJSONErrors(t *testing.T) {
+	if _, err := ReadPatternsJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON must fail")
+	}
+}
+
+func TestCSVEmptyIntervals(t *testing.T) {
+	in := "items,support,recurrence,intervals\na,5,0,\n"
+	got, err := ReadPatternsCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Intervals != nil {
+		t.Errorf("got %+v", got)
+	}
+}

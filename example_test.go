@@ -1,0 +1,87 @@
+package rp_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/recurpat/rp"
+)
+
+// Example mines the paper's running example (Figure 1) and prints the two
+// recurring pairs of its Table 2.
+func Example() {
+	series := []struct {
+		ts    int64
+		items string
+	}{
+		{1, "a b g"}, {2, "a c d"}, {3, "a b e f"}, {4, "a b c d"},
+		{5, "c d e f g"}, {6, "e f g"}, {7, "a b c g"}, {9, "c d"},
+		{10, "c d e f"}, {11, "a b e f"}, {12, "a b c d e f g"}, {14, "a b g"},
+	}
+	b := rp.NewBuilder()
+	for _, row := range series {
+		for _, item := range strings.Fields(row.items) {
+			b.Add(item, row.ts)
+		}
+	}
+	patterns, err := rp.Mine(b.Build(), rp.Options{Per: 2, MinPS: 3, MinRec: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range patterns {
+		if len(p.Items) != 2 || p.Items[0] != "a" && p.Items[0] != "c" {
+			continue
+		}
+		fmt.Printf("%v support=%d recurrence=%d intervals=%v\n",
+			p.Items, p.Support, p.Recurrence, p.Intervals)
+	}
+	// Output:
+	// [a b] support=7 recurrence=2 intervals=[{1 4 3} {11 14 3}]
+	// [c d] support=6 recurrence=2 intervals=[{2 5 3} {9 12 3}]
+}
+
+// ExampleMine_seasonal shows the seasonal-association use case from the
+// paper's introduction: jackets and gloves co-sell every winter, and the
+// pattern's interesting periodic intervals are exactly the two winters.
+func ExampleMine_seasonal() {
+	b := rp.NewBuilder()
+	for day := int64(1); day <= 730; day++ {
+		doy := day % 365
+		if doy < 60 || doy >= 335 { // winter
+			b.Add("jackets", day)
+			b.Add("gloves", day)
+		}
+		b.Add("milk", day)
+	}
+	patterns, err := rp.Mine(b.Build(), rp.Options{Per: 7, MinPS: 30, MinRec: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range patterns {
+		if len(p.Items) == 2 && p.Items[0] == "jackets" && p.Items[1] == "gloves" {
+			fmt.Printf("%v recurs %d times\n", p.Items, p.Recurrence)
+			for _, iv := range p.Intervals {
+				fmt.Printf("  days %d..%d (%d sales)\n", iv.Start, iv.End, iv.PS)
+			}
+		}
+	}
+	// Output:
+	// [jackets gloves] recurs 3 times
+	//   days 1..59 (59 sales)
+	//   days 335..424 (90 sales)
+	//   days 700..730 (31 sales)
+}
+
+// ExampleMinPSFromPercent converts a paper-style percentage threshold into
+// an absolute periodic support.
+func ExampleMinPSFromPercent() {
+	b := rp.NewBuilder()
+	for ts := int64(1); ts <= 200; ts++ {
+		b.Add("x", ts)
+	}
+	db := b.Build()
+	fmt.Println(rp.MinPSFromPercent(db, 2.5))
+	// Output:
+	// 5
+}

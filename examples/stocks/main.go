@@ -1,0 +1,118 @@
+// Stocks: the paper's market motivation — "the set of high stock indices
+// that rise periodically for a particular time interval may be of special
+// interest". This example synthesizes daily closing prices for a basket of
+// indices, discretizes them into up-move and high-level events, and mines
+// which index groups rally together and in which date ranges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+	"strings"
+
+	"github.com/recurpat/rp"
+	"github.com/recurpat/rp/internal/ext"
+	"github.com/recurpat/rp/internal/seq"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(1929, 10))
+	const days = 3 * 365
+
+	// Three sector groups; each sector rallies in its own recurring season
+	// (e.g. energy in winters, retail before year-end).
+	sectors := map[string][]string{
+		"energy": {"OIL", "GAS", "COAL"},
+		"retail": {"SHOP", "MALL"},
+		"tech":   {"CHIP", "SOFT", "WEB"},
+	}
+	seasonStart := map[string]int{"energy": 330, "retail": 290, "tech": 120}
+	seasonLen := map[string]int{"energy": 80, "retail": 50, "tech": 90}
+
+	var all []rp.EventSequence
+	for sector, tickers := range sectors {
+		// A shared sector factor correlates the tickers' daily moves.
+		factor := make([]float64, days+1)
+		for d := 1; d <= days; d++ {
+			factor[d] = rng.NormFloat64() * 1.0
+		}
+		for _, ticker := range tickers {
+			s := seq.Series{Name: ticker}
+			price := 100.0
+			for d := 1; d <= days; d++ {
+				doy := d % 365
+				drift := -0.02 // mild decay off-season
+				inSeason := false
+				start := seasonStart[sector]
+				end := (start + seasonLen[sector]) % 365
+				if start < end {
+					inSeason = doy >= start && doy < end
+				} else {
+					inSeason = doy >= start || doy < end
+				}
+				if inSeason {
+					drift = 1.2 // rallies during the sector's season
+				}
+				price = math.Max(20, price+drift+factor[d]+rng.NormFloat64()*0.6)
+				s.Samples = append(s.Samples, seq.Sample{TS: int64(d), Value: price})
+			}
+			up, err := seq.DeltaEvents(s, 1.0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			all = append(all, up)
+		}
+	}
+	db := rp.FromEvents(seq.Merge(all...))
+	fmt.Println("event database:", rp.ComputeStats(db))
+
+	// A rally season: up-moves on at least 15 near-consecutive trading
+	// days, recurring in at least 2 years.
+	patterns, err := rp.Mine(db, rp.Options{Per: 7, MinPS: 12, MinRec: 2, MaxLen: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nco-rallying index groups:")
+	shown := 0
+	for _, p := range patterns {
+		if len(p.Items) < 2 {
+			continue
+		}
+		if !allUp(p.Items) {
+			continue
+		}
+		fmt.Printf("  {%s} rec=%d seasons:", strings.Join(p.Items, ","), p.Recurrence)
+		for _, iv := range p.Intervals {
+			fmt.Printf(" [day %d..%d]", iv.Start, iv.End)
+		}
+		fmt.Println()
+		if shown++; shown >= 12 {
+			break
+		}
+	}
+
+	// Threshold-free view: the five most recurrent co-movements.
+	raw, err := rp.MineRaw(db, rp.Options{Per: 7, MinPS: 12, MinRec: 1, MaxLen: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := ext.TopK(db, 7, 12, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d patterns total; top-5 by recurrence:\n", len(raw.Patterns))
+	for _, p := range top {
+		fmt.Printf("  %s rec=%d sup=%d\n", db.FormatPattern(p.Items), p.Recurrence, p.Support)
+	}
+}
+
+func allUp(items []string) bool {
+	for _, it := range items {
+		if !strings.HasSuffix(it, ":up") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,3 @@
+module github.com/recurpat/rp
+
+go 1.22

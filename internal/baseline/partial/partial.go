@@ -1,0 +1,276 @@
+// Package partial implements segment-wise partial periodic pattern mining
+// in symbolic sequences, after Han, Dong and Yin, "Efficient Mining of
+// Partial Periodic Patterns in Time Series Database" (ICDE 1999) — the
+// classic fixed-period model the recurring-pattern paper's related work
+// opens with. It serves as the representative of the "symbolic sequence"
+// school the paper contrasts itself against: the sequence is cut into
+// fixed-length period segments and a pattern must repeat across enough
+// segments of the whole series, with no notion of when it does so.
+//
+// A pattern has one slot per period position: a set of items the segment
+// must contain at that position, or the wildcard '*' (an empty slot). The
+// frequency of a pattern is the number of segments matching every non-'*'
+// slot; a pattern is frequent iff its frequency reaches minSup. Mining
+// follows the paper's two-scan max-subpattern hit set method:
+//
+//  1. one scan finds F1, the frequent 1-patterns (single slot filled with
+//     a single item), which bound the maximal candidate pattern Cmax;
+//  2. a second scan inserts, for each segment, its maximal subpattern of
+//     Cmax into the hit set with a count;
+//  3. the frequency of any candidate subpattern is the sum of hits that
+//     contain it, and the frequent patterns are enumerated from F1
+//     downward with Apriori pruning.
+//
+// The original paper stores hits in a max-subpattern tree; this
+// implementation uses a hash-keyed hit set, which computes identical
+// counts (the tree is a sharing optimization, not a semantic one).
+package partial
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// Period is the segment length L. The sequence of transactions is cut
+	// into consecutive segments of L transactions (by position, not
+	// timestamp — the symbolic-sequence view).
+	Period int
+	// MinSup is the minimum number of matching segments.
+	MinSup int
+	// MaxSlotItems bounds how many items a single slot of Cmax may hold
+	// (guards against degenerate blowup on dense data; 0 means unlimited).
+	MaxSlotItems int
+}
+
+// Validate reports the first violated constraint.
+func (o Options) Validate() error {
+	if o.Period <= 0 {
+		return fmt.Errorf("partial: Period must be positive, got %d", o.Period)
+	}
+	if o.MinSup <= 0 {
+		return fmt.Errorf("partial: MinSup must be positive, got %d", o.MinSup)
+	}
+	if o.MaxSlotItems < 0 {
+		return fmt.Errorf("partial: MaxSlotItems must be non-negative, got %d", o.MaxSlotItems)
+	}
+	return nil
+}
+
+// Pattern is a partial periodic pattern: Slots[i] holds the required items
+// at period position i (empty slot = '*'). Frequency is the number of
+// matching segments.
+type Pattern struct {
+	Slots     [][]tsdb.ItemID
+	Frequency int
+}
+
+// Filled reports the number of non-wildcard slot entries (the pattern's
+// "L-length" in Han et al.'s terminology: a pattern with k filled entries
+// is a k-pattern).
+func (p Pattern) Filled() int {
+	n := 0
+	for _, s := range p.Slots {
+		n += len(s)
+	}
+	return n
+}
+
+// Format renders the pattern in the paper's "a*b" style notation, with
+// multi-item slots braced: "{ab}*c".
+func (p Pattern) Format(dict *tsdb.Dictionary) string {
+	var b strings.Builder
+	for _, slot := range p.Slots {
+		switch len(slot) {
+		case 0:
+			b.WriteByte('*')
+		case 1:
+			b.WriteString(dict.Name(slot[0]))
+		default:
+			b.WriteByte('{')
+			for _, id := range slot {
+				b.WriteString(dict.Name(id))
+			}
+			b.WriteByte('}')
+		}
+	}
+	return b.String()
+}
+
+// Result is a mining result.
+type Result struct {
+	Patterns []Pattern
+	Segments int // number of full segments scanned
+}
+
+// Mine discovers all frequent partial periodic patterns of db under o.
+func Mine(db *tsdb.DB, o Options) (*Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	L := o.Period
+	segments := db.Len() / L
+	res := &Result{Segments: segments}
+	if segments == 0 {
+		return res, nil
+	}
+
+	// Scan 1: count (position, item) 1-patterns.
+	ones := make(map[[2]uint64]int)
+	for seg := 0; seg < segments; seg++ {
+		for pos := 0; pos < L; pos++ {
+			tr := db.Trans[seg*L+pos]
+			for _, id := range tr.Items {
+				ones[[2]uint64{uint64(pos), uint64(id)}]++
+			}
+		}
+	}
+	// Cmax: per position, the frequent items (sorted for determinism).
+	cmax := make([][]tsdb.ItemID, L)
+	for key, cnt := range ones {
+		if cnt >= o.MinSup {
+			cmax[key[0]] = append(cmax[key[0]], tsdb.ItemID(key[1]))
+		}
+	}
+	totalF1 := 0
+	for pos := range cmax {
+		sort.Slice(cmax[pos], func(i, j int) bool { return cmax[pos][i] < cmax[pos][j] })
+		if o.MaxSlotItems > 0 && len(cmax[pos]) > o.MaxSlotItems {
+			cmax[pos] = cmax[pos][:o.MaxSlotItems]
+		}
+		totalF1 += len(cmax[pos])
+	}
+	if totalF1 == 0 {
+		return res, nil
+	}
+
+	// Scan 2: hit set of maximal subpatterns of Cmax per segment.
+	// Enumerate the F1 entries in a fixed order; a hit is a bitset over
+	// them encoded as a string key.
+	var f1 []slotEntry
+	index := make(map[slotEntry]int)
+	for pos, items := range cmax {
+		for _, id := range items {
+			index[slotEntry{pos, id}] = len(f1)
+			f1 = append(f1, slotEntry{pos, id})
+		}
+	}
+	hits := make(map[string]int)
+	buf := make([]byte, (len(f1)+7)/8)
+	for seg := 0; seg < segments; seg++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		nonEmpty := false
+		for pos := 0; pos < L; pos++ {
+			tr := db.Trans[seg*L+pos]
+			for _, id := range tr.Items {
+				if bit, ok := index[slotEntry{pos, id}]; ok {
+					buf[bit/8] |= 1 << (bit % 8)
+					nonEmpty = true
+				}
+			}
+		}
+		if nonEmpty {
+			hits[string(buf)]++
+		}
+	}
+
+	// Enumerate frequent patterns: DFS over F1 entries with Apriori
+	// pruning; the frequency of a candidate is the sum of hits whose
+	// bitset covers the candidate's bits.
+	type hit struct {
+		bits  []byte
+		count int
+	}
+	hitList := make([]hit, 0, len(hits))
+	for k, c := range hits {
+		hitList = append(hitList, hit{bits: []byte(k), count: c})
+	}
+	sort.Slice(hitList, func(i, j int) bool { return string(hitList[i].bits) < string(hitList[j].bits) })
+
+	freq := func(bits []byte) int {
+		total := 0
+		for _, h := range hitList {
+			covered := true
+			for i := range bits {
+				if bits[i]&h.bits[i] != bits[i] {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				total += h.count
+			}
+		}
+		return total
+	}
+
+	cand := make([]byte, len(buf))
+	var dfs func(start int, chosen []int)
+	dfs = func(start int, chosen []int) {
+		for i := start; i < len(f1); i++ {
+			cand[i/8] |= 1 << (i % 8)
+			f := freq(cand)
+			if f >= o.MinSup {
+				res.Patterns = append(res.Patterns, materialize(f1, append(chosen, i), L, f))
+				dfs(i+1, append(chosen, i))
+			}
+			cand[i/8] &^= 1 << (i % 8)
+		}
+	}
+	dfs(0, nil)
+
+	sort.Slice(res.Patterns, func(i, j int) bool {
+		a, b := res.Patterns[i], res.Patterns[j]
+		if a.Filled() != b.Filled() {
+			return a.Filled() < b.Filled()
+		}
+		return comparePatternSlots(a.Slots, b.Slots) < 0
+	})
+	return res, nil
+}
+
+// slotEntry is one frequent (position, item) 1-pattern of Cmax.
+type slotEntry struct {
+	pos  int
+	item tsdb.ItemID
+}
+
+func materialize(f1 []slotEntry, chosen []int, L, f int) Pattern {
+	slots := make([][]tsdb.ItemID, L)
+	for _, idx := range chosen {
+		e := f1[idx]
+		slots[e.pos] = append(slots[e.pos], e.item)
+	}
+	return Pattern{Slots: slots, Frequency: f}
+}
+
+func comparePatternSlots(a, b [][]tsdb.ItemID) int {
+	for i := range a {
+		av, bv := a[i], b[i]
+		n := len(av)
+		if len(bv) < n {
+			n = len(bv)
+		}
+		for k := 0; k < n; k++ {
+			if av[k] != bv[k] {
+				if av[k] < bv[k] {
+					return -1
+				}
+				return 1
+			}
+		}
+		if len(av) != len(bv) {
+			if len(av) < len(bv) {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

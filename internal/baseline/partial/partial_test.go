@@ -1,0 +1,226 @@
+package partial
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func mustDB(t *testing.T, text string) *tsdb.DB {
+	t.Helper()
+	db, err := tsdb.Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestValidate(t *testing.T) {
+	for _, o := range []Options{
+		{Period: 0, MinSup: 1},
+		{Period: 1, MinSup: 0},
+		{Period: 1, MinSup: 1, MaxSlotItems: -1},
+	} {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", o)
+		}
+	}
+	if _, err := Mine(&tsdb.DB{Dict: tsdb.NewDictionary()}, Options{}); err == nil {
+		t.Error("Mine must reject invalid options")
+	}
+}
+
+func TestClassicExample(t *testing.T) {
+	// A sequence with period 3: position 0 is almost always 'a', position 2
+	// alternates; "a**" should be frequent, "a*b" roughly half as frequent.
+	var b strings.Builder
+	for seg := 0; seg < 8; seg++ {
+		base := seg * 3
+		b.WriteString(itoa(base+1) + "\ta\n")
+		b.WriteString(itoa(base+2) + "\tx\n")
+		if seg%2 == 0 {
+			b.WriteString(itoa(base+3) + "\tb\n")
+		} else {
+			b.WriteString(itoa(base+3) + "\tc\n")
+		}
+	}
+	db := mustDB(t, b.String())
+	res, err := Mine(db, Options{Period: 3, MinSup: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Segments != 8 {
+		t.Fatalf("segments = %d, want 8", res.Segments)
+	}
+	byText := map[string]int{}
+	for _, p := range res.Patterns {
+		byText[p.Format(db.Dict)] = p.Frequency
+	}
+	if byText["a**"] != 8 {
+		t.Errorf("freq(a**) = %d, want 8 (got %v)", byText["a**"], byText)
+	}
+	if byText["*x*"] != 8 {
+		t.Errorf("freq(*x*) = %d, want 8", byText["*x*"])
+	}
+	if byText["a*b"] != 4 {
+		t.Errorf("freq(a*b) = %d, want 4", byText["a*b"])
+	}
+	if byText["axb"] != 4 {
+		t.Errorf("freq(axb) = %d, want 4", byText["axb"])
+	}
+	if _, ok := byText["a*c"]; !ok {
+		t.Errorf("a*c (freq 4) missing: %v", byText)
+	}
+}
+
+func itoa(n int) string {
+	digits := "0123456789"
+	if n == 0 {
+		return "0"
+	}
+	var out []byte
+	for n > 0 {
+		out = append([]byte{digits[n%10]}, out...)
+		n /= 10
+	}
+	return string(out)
+}
+
+// bruteForce counts every candidate pattern over the frequent 1-patterns by
+// rescanning all segments directly.
+func bruteForce(db *tsdb.DB, o Options) map[string]int {
+	L := o.Period
+	segments := db.Len() / L
+	// Frequent 1-patterns.
+	ones := map[slotEntry]int{}
+	for seg := 0; seg < segments; seg++ {
+		for pos := 0; pos < L; pos++ {
+			for _, id := range db.Trans[seg*L+pos].Items {
+				ones[slotEntry{pos, id}]++
+			}
+		}
+	}
+	var f1 []slotEntry
+	for e, c := range ones {
+		if c >= o.MinSup {
+			f1 = append(f1, e)
+		}
+	}
+	match := func(chosen []slotEntry, seg int) bool {
+		for _, e := range chosen {
+			tr := db.Trans[seg*L+e.pos]
+			found := false
+			for _, id := range tr.Items {
+				if id == e.item {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	out := map[string]int{}
+	var rec func(start int, chosen []slotEntry)
+	rec = func(start int, chosen []slotEntry) {
+		for i := start; i < len(f1); i++ {
+			next := append(chosen[:len(chosen):len(chosen)], f1[i])
+			cnt := 0
+			for seg := 0; seg < segments; seg++ {
+				if match(next, seg) {
+					cnt++
+				}
+			}
+			if cnt >= o.MinSup {
+				out[key(next, L)] = cnt
+				rec(i+1, next)
+			}
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func key(entries []slotEntry, L int) string {
+	slots := make([][]tsdb.ItemID, L)
+	for _, e := range entries {
+		slots[e.pos] = append(slots[e.pos], e.item)
+	}
+	var b strings.Builder
+	for _, slot := range slots {
+		sort.Slice(slot, func(i, j int) bool { return slot[i] < slot[j] })
+		b.WriteByte('|')
+		for _, id := range slot {
+			b.WriteByte(byte('0' + id))
+		}
+	}
+	return b.String()
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 41))
+	for run := 0; run < 25; run++ {
+		b := tsdb.NewBuilder()
+		nItems := rng.IntN(4) + 2
+		nTS := rng.IntN(40) + 12
+		for ts := int64(1); ts <= int64(nTS); ts++ {
+			for i := 0; i < nItems; i++ {
+				if rng.Float64() < 0.4 {
+					b.Add(string(rune('a'+i)), ts)
+				}
+			}
+			b.Add("pad", ts) // ensure no empty transactions break positions
+		}
+		db := b.Build()
+		o := Options{Period: rng.IntN(4) + 2, MinSup: rng.IntN(4) + 2}
+		res, err := Mine(db, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int{}
+		for _, p := range res.Patterns {
+			var entries []slotEntry
+			for pos, slot := range p.Slots {
+				for _, id := range slot {
+					entries = append(entries, slotEntry{pos, id})
+				}
+			}
+			got[key(entries, o.Period)] = p.Frequency
+		}
+		want := bruteForce(db, o)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d (%+v): got %d patterns, want %d\ngot  %v\nwant %v",
+				run, o, len(got), len(want), got, want)
+		}
+	}
+}
+
+func TestMaxSlotItemsCap(t *testing.T) {
+	db := mustDB(t, "1\ta b c d\n2\ta b c d\n3\ta b c d\n4\ta b c d\n")
+	res, err := Mine(db, Options{Period: 1, MinSup: 2, MaxSlotItems: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if len(p.Slots[0]) > 2 {
+			t.Errorf("slot cap violated: %v", p.Slots)
+		}
+	}
+}
+
+func TestNoFullSegments(t *testing.T) {
+	db := mustDB(t, "1\ta\n2\ta\n")
+	res, err := Mine(db, Options{Period: 5, MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Segments != 0 || len(res.Patterns) != 0 {
+		t.Errorf("short DB: %+v", res)
+	}
+}

@@ -1,0 +1,85 @@
+package ppattern
+
+import (
+	"sort"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// MineAssociationFirst discovers the same p-patterns as Mine using Ma and
+// Hellerstein's *association-first* algorithm: first find all frequent
+// itemsets (plain support, Apriori-style), then keep those with enough
+// periodic appearances. The recurring-pattern paper chose periodic-first
+// for its comparison because it is faster; both are provided here so the
+// speed claim itself can be benchmarked (see BenchmarkPPatternVariants).
+//
+// The two algorithms provably return identical pattern sets: a pattern
+// with minSup periodic inter-arrival times occurs in at least minSup+1
+// transactions, so the support-based lattice of association-first covers
+// every p-pattern, and the final filter is the same.
+func MineAssociationFirst(db *tsdb.DB, o Options) (*Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	bound := o.Per + o.Window
+	all := db.ItemTSLists()
+
+	// Phase 1: frequent items by support (a p-pattern needs more than
+	// minSup occurrences to have minSup periodic gaps).
+	type entry struct {
+		item tsdb.ItemID
+		ts   []int64
+	}
+	var items []entry
+	for id, ts := range all {
+		if len(ts) > o.MinSup {
+			items = append(items, entry{item: tsdb.ItemID(id), ts: ts})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if len(items[i].ts) != len(items[j].ts) {
+			return len(items[i].ts) > len(items[j].ts)
+		}
+		return items[i].item < items[j].item
+	})
+
+	// Phase 2: grow frequent itemsets by support; Phase 3: filter by
+	// periodic appearances at emission time.
+	var dfs func(prefix []tsdb.ItemID, ts []int64, idx int)
+	dfs = func(prefix []tsdb.ItemID, ts []int64, idx int) {
+		if res.Truncated {
+			return
+		}
+		if p := core.PeriodicAppearances(ts, bound); p >= o.MinSup {
+			sorted := make([]tsdb.ItemID, len(prefix))
+			copy(sorted, prefix)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			res.Patterns = append(res.Patterns, Pattern{Items: sorted, Support: len(ts), Periodic: p})
+			if o.Limit > 0 && len(res.Patterns) >= o.Limit {
+				res.Truncated = true
+				return
+			}
+		}
+		if o.MaxLen > 0 && len(prefix) >= o.MaxLen {
+			return
+		}
+		n := len(prefix)
+		for j := idx + 1; j < len(items); j++ {
+			ext := core.IntersectTS(nil, ts, items[j].ts)
+			if len(ext) <= o.MinSup { // support pruning only
+				continue
+			}
+			dfs(append(prefix[:n:n], items[j].item), ext, j)
+		}
+	}
+	for i := range items {
+		dfs([]tsdb.ItemID{items[i].item}, items[i].ts, i)
+	}
+
+	sort.Slice(res.Patterns, func(i, j int) bool {
+		return comparePatterns(res.Patterns[i].Items, res.Patterns[j].Items) < 0
+	})
+	return res, nil
+}

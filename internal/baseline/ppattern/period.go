@@ -1,0 +1,121 @@
+package ppattern
+
+import (
+	"math"
+	"sort"
+)
+
+// Period discovery. Ma and Hellerstein's p-pattern mining does not assume
+// the period is known: it first finds statistically significant candidate
+// periods from an item's inter-arrival distribution, then mines patterns
+// at those periods. This file implements that first phase.
+//
+// The test follows the paper's construction: if events occurred at random
+// (a Poisson process with the item's observed rate), the count of
+// inter-arrival times falling in a window around a candidate period p
+// would follow a binomial distribution; a chi-squared score far above the
+// 95% quantile of chi^2(1) rejects randomness and makes p a candidate
+// period.
+
+// CandidatePeriod is a period supported by significantly many
+// inter-arrival times.
+type CandidatePeriod struct {
+	Period int64
+	// Count is the number of inter-arrival times within the tolerance
+	// window of the period.
+	Count int
+	// Score is the chi-squared statistic against the random-arrivals null.
+	Score float64
+}
+
+// chiSquared95 is the 95% quantile of the chi-squared distribution with
+// one degree of freedom.
+const chiSquared95 = 3.84
+
+// DiscoverPeriods returns the candidate periods of a sorted timestamp
+// list, strongest first. w is the time tolerance (a gap g supports period
+// p iff |g-p| <= w); spanFirst/spanLast bound the observation window used
+// for the null model. Periods from 1 up to half the span are considered.
+func DiscoverPeriods(ts []int64, w int64, spanFirst, spanLast int64) []CandidatePeriod {
+	if len(ts) < 3 || spanLast <= spanFirst {
+		return nil
+	}
+	span := float64(spanLast - spanFirst + 1)
+	n := len(ts) - 1 // number of inter-arrival times
+	rate := float64(len(ts)) / span
+
+	// Histogram of inter-arrival times.
+	gaps := make(map[int64]int)
+	maxGap := int64(0)
+	for i := 1; i < len(ts); i++ {
+		g := ts[i] - ts[i-1]
+		gaps[g]++
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	half := (spanLast - spanFirst) / 2
+	if maxGap > half {
+		maxGap = half
+	}
+
+	var out []CandidatePeriod
+	for p := int64(1); p <= maxGap; p++ {
+		count := 0
+		for d := p - w; d <= p+w; d++ {
+			if d > 0 {
+				count += gaps[d]
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		// Null: each gap lands in the window [p-w, p+w] with the
+		// probability a Poisson inter-arrival (exponential with the
+		// observed rate) would.
+		lo := float64(p-w) - 0.5
+		if lo < 0 {
+			lo = 0
+		}
+		hi := float64(p+w) + 0.5
+		prob := math.Exp(-rate*lo) - math.Exp(-rate*hi)
+		if prob <= 0 || prob >= 1 {
+			continue
+		}
+		expected := float64(n) * prob
+		diff := float64(count) - expected
+		score := diff * diff / (expected * (1 - prob))
+		if diff > 0 && score > chiSquared95 {
+			out = append(out, CandidatePeriod{Period: p, Count: count, Score: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Period < out[j].Period
+	})
+	// Suppress harmonics and window-overlap duplicates: keep a period only
+	// if no stronger kept period lies within w of it.
+	var kept []CandidatePeriod
+	for _, c := range out {
+		dup := false
+		for _, k := range kept {
+			if abs64(k.Period-c.Period) <= w {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,97 @@
+package ppattern
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestDiscoverPeriodsFindsPlantedPeriod(t *testing.T) {
+	// Strongly periodic arrivals every 7 units with jitter of ±1.
+	rng := rand.New(rand.NewPCG(2, 2))
+	var ts []int64
+	cur := int64(1)
+	for i := 0; i < 300; i++ {
+		ts = append(ts, cur)
+		cur += 7 + rng.Int64N(3) - 1
+	}
+	periods := DiscoverPeriods(ts, 1, ts[0], ts[len(ts)-1])
+	if len(periods) == 0 {
+		t.Fatal("no periods discovered")
+	}
+	best := periods[0]
+	if best.Period < 6 || best.Period > 8 {
+		t.Errorf("best period = %d, want ~7 (all: %+v)", best.Period, periods)
+	}
+	if best.Count < 250 {
+		t.Errorf("best period count = %d, want most of 299", best.Count)
+	}
+}
+
+func TestDiscoverPeriodsRejectsRandomArrivals(t *testing.T) {
+	// A Poisson process has no period; the detector may fire on a handful
+	// of spurious windows but must not report strong, dominant periods.
+	rng := rand.New(rand.NewPCG(5, 5))
+	var ts []int64
+	cur := int64(1)
+	for i := 0; i < 500; i++ {
+		ts = append(ts, cur)
+		cur += rng.Int64N(20) + 1
+	}
+	periods := DiscoverPeriods(ts, 1, ts[0], ts[len(ts)-1])
+	for _, p := range periods {
+		// Allow weak false positives; a planted period in the previous test
+		// scores in the hundreds, so anything comparable here is a bug.
+		if p.Score > 100 {
+			t.Errorf("random arrivals produced strong period %+v", p)
+		}
+	}
+}
+
+func TestDiscoverPeriodsDegenerate(t *testing.T) {
+	if got := DiscoverPeriods(nil, 1, 0, 100); got != nil {
+		t.Errorf("nil input: %v", got)
+	}
+	if got := DiscoverPeriods([]int64{1, 2}, 1, 1, 2); got != nil {
+		t.Errorf("two points: %v", got)
+	}
+	if got := DiscoverPeriods([]int64{1, 2, 3}, 1, 3, 1); got != nil {
+		t.Errorf("inverted span: %v", got)
+	}
+}
+
+func TestDiscoverPeriodsMultiple(t *testing.T) {
+	// Two interleaved processes: period 5 and period 13. Both should rank.
+	var ts []int64
+	seen := map[int64]bool{}
+	for c := int64(1); c < 3000; c += 5 {
+		if !seen[c] {
+			ts = append(ts, c)
+			seen[c] = true
+		}
+	}
+	for c := int64(3); c < 3000; c += 13 {
+		if !seen[c] {
+			ts = append(ts, c)
+			seen[c] = true
+		}
+	}
+	sortInt64(ts)
+	periods := DiscoverPeriods(ts, 0, ts[0], ts[len(ts)-1])
+	found5 := false
+	for _, p := range periods {
+		if p.Period == 5 {
+			found5 = true
+		}
+	}
+	if !found5 {
+		t.Errorf("period 5 not discovered: %+v", periods)
+	}
+}
+
+func sortInt64(ts []int64) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/recurpat/rp/internal/core"
+)
+
+// AblationRow reports one design-choice comparison: the same mining task
+// with a mechanism toggled.
+type AblationRow struct {
+	Name     string
+	Variant  string
+	Seconds  float64
+	Patterns int
+	Examined int // getRecurrence evaluations
+	Pruned   int // subtrees cut by the Erec bound
+	Nodes    int // prefix-tree nodes created
+}
+
+// Ablations runs the design-choice studies of DESIGN.md on one dataset:
+// Erec pruning on/off, RP-tree vs vertical mining, and support-descending
+// vs lexicographic item order. All variants produce identical pattern sets;
+// the table quantifies their cost differences.
+func Ablations(d *Dataset, o core.Options) ([]AblationRow, error) {
+	o.CollectStats = true
+	var rows []AblationRow
+	run := func(name, variant string, mine func() (*core.Result, error)) error {
+		start := time.Now()
+		res, err := mine()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, AblationRow{
+			Name:     name,
+			Variant:  variant,
+			Seconds:  time.Since(start).Seconds(),
+			Patterns: len(res.Patterns),
+			Examined: res.Stats.PatternsExamined,
+			Pruned:   res.Stats.PatternsPruned,
+			Nodes:    res.Stats.TreeNodes,
+		})
+		return nil
+	}
+
+	base := o
+	if err := run("erec-pruning", "on", func() (*core.Result, error) { return core.Mine(d.DB, base) }); err != nil {
+		return nil, err
+	}
+	off := o
+	off.DisableErecPruning = true
+	if err := run("erec-pruning", "off", func() (*core.Result, error) { return core.Mine(d.DB, off) }); err != nil {
+		return nil, err
+	}
+	if err := run("miner", "rp-tree", func() (*core.Result, error) { return core.Mine(d.DB, base) }); err != nil {
+		return nil, err
+	}
+	if err := run("miner", "vertical", func() (*core.Result, error) { return core.MineVertical(d.DB, base) }); err != nil {
+		return nil, err
+	}
+	lex := o
+	lex.ItemOrder = core.Lexicographic
+	if err := run("item-order", "support-desc", func() (*core.Result, error) { return core.Mine(d.DB, base) }); err != nil {
+		return nil, err
+	}
+	if err := run("item-order", "lexicographic", func() (*core.Result, error) { return core.Mine(d.DB, lex) }); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatAblations renders the comparison table.
+func FormatAblations(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-14s %9s %10s %10s %10s %10s\n",
+		"Mechanism", "Variant", "Seconds", "Patterns", "Examined", "Pruned", "TreeNodes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-14s %9.2f %10d %10d %10d %10d\n",
+			r.Name, r.Variant, r.Seconds, r.Patterns, r.Examined, r.Pruned, r.Nodes)
+	}
+	return b.String()
+}

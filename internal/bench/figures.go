@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/recurpat/rp/internal/core"
+)
+
+// SweepPoint is one point of the Figure 7 / Figure 9 sweeps on the Twitter
+// dataset: the number of recurring patterns and the mining runtime at a
+// given (minPS%, per, minRec).
+type SweepPoint struct {
+	MinPSPercent float64
+	Per          int64
+	MinRec       int
+	Count        int
+	Runtime      time.Duration
+}
+
+// Sweep runs the Figure 7/9 parameter sweep: minPS from 'from' to 'to'
+// percent in steps of 'step', for every per in the dataset's grid and every
+// minRec in 1..3. Each point is mined at its own thresholds, so Runtime is
+// directly the paper's Figure 9 measurement and Count its Figure 7
+// measurement.
+func Sweep(d *Dataset, from, to, step float64) ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, minRec := range paperMinRecs {
+		for _, per := range d.Pers {
+			for pct := from; pct <= to+1e-9; pct += step {
+				minPS := core.MinPSFromPercent(d.DB, pct)
+				start := time.Now()
+				res, err := core.Mine(d.DB, core.Options{Per: per, MinPS: minPS, MinRec: minRec})
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, SweepPoint{
+					MinPSPercent: pct,
+					Per:          per,
+					MinRec:       minRec,
+					Count:        len(res.Patterns),
+					Runtime:      time.Since(start),
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// FormatSweep renders sweep points as one block per minRec, one line per
+// per series — the layout of Figures 7 and 9. Setting counts renders
+// pattern counts (Figure 7); otherwise runtimes in seconds (Figure 9).
+func FormatSweep(points []SweepPoint, counts bool) string {
+	var b strings.Builder
+	byKey := map[[2]int64][]SweepPoint{}
+	var minRecs []int
+	seenRec := map[int]bool{}
+	var pcts []float64
+	seenPct := map[float64]bool{}
+	for _, p := range points {
+		key := [2]int64{int64(p.MinRec), p.Per}
+		byKey[key] = append(byKey[key], p)
+		if !seenRec[p.MinRec] {
+			seenRec[p.MinRec] = true
+			minRecs = append(minRecs, p.MinRec)
+		}
+		if !seenPct[p.MinPSPercent] {
+			seenPct[p.MinPSPercent] = true
+			pcts = append(pcts, p.MinPSPercent)
+		}
+	}
+	for _, minRec := range minRecs {
+		fmt.Fprintf(&b, "minRec=%d\n", minRec)
+		fmt.Fprintf(&b, "  %-10s", "per\\minPS%")
+		for _, pct := range pcts {
+			fmt.Fprintf(&b, " %9.1f", pct)
+		}
+		b.WriteByte('\n')
+		for _, per := range paperPers {
+			series := byKey[[2]int64{int64(minRec), per}]
+			if len(series) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  per=%-6d", per)
+			for _, p := range series {
+				if counts {
+					fmt.Fprintf(&b, " %9d", p.Count)
+				} else {
+					fmt.Fprintf(&b, " %9.2f", p.Runtime.Seconds())
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Figure8Series is the daily frequency of one hashtag (Figure 8).
+type Figure8Series struct {
+	Tag   string
+	Daily []int
+}
+
+// Figure8 returns the daily frequencies of the hashtags behind the paper's
+// Figure 8: yyc, uttarakhand (floods) and nuclear, hibaku (nuclear news).
+func Figure8(d *Dataset) []Figure8Series {
+	tags := []string{"yyc", "uttarakhand", "nuclear", "hibaku"}
+	var out []Figure8Series
+	for _, tag := range tags {
+		out = append(out, Figure8Series{Tag: tag, Daily: d.DB.DailyFrequency(tag, 1440)})
+	}
+	return out
+}
+
+// FormatFigure8 renders the daily series as sparse text columns: one line
+// per day with every tag's count.
+func FormatFigure8(series []Figure8Series) string {
+	var b strings.Builder
+	b.WriteString("day")
+	days := 0
+	for _, s := range series {
+		fmt.Fprintf(&b, "\t%s", s.Tag)
+		if len(s.Daily) > days {
+			days = len(s.Daily)
+		}
+	}
+	b.WriteByte('\n')
+	for day := 0; day < days; day++ {
+		fmt.Fprintf(&b, "%d", day)
+		for _, s := range series {
+			v := 0
+			if day < len(s.Daily) {
+				v = s.Daily[day]
+			}
+			fmt.Fprintf(&b, "\t%d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file transcribes the numbers the paper publishes (Tables 5, 7 and
+// 8), so experiment runs can be checked against them automatically. We do
+// not expect absolute agreement — our datasets are simulations of
+// non-redistributable originals — but the *shape* must hold: how counts
+// and runtimes move along the per, minPS and minRec axes, and how the
+// three models order. ShapeReport quantifies that agreement.
+
+// PaperTable5 returns the published Table 5 counts, in the same row layout
+// as Table5 produces (Counts[minRec-1][perIndex]).
+func PaperTable5() []Table5Row {
+	return []Table5Row{
+		{Dataset: "t10i4d100k", MinPSPercent: 0.1, Counts: [3][3]int{
+			{428, 1254, 7193}, {255, 436, 1036}, {194, 160, 27}}},
+		{Dataset: "t10i4d100k", MinPSPercent: 0.2, Counts: [3][3]int{
+			{339, 757, 3205}, {168, 103, 39}, {72, 0, 0}}},
+		{Dataset: "t10i4d100k", MinPSPercent: 0.3, Counts: [3][3]int{
+			{296, 622, 2148}, {109, 32, 2}, {21, 0, 0}}},
+		{Dataset: "shop14", MinPSPercent: 0.1, Counts: [3][3]int{
+			{593, 1885, 4977}, {447, 1339, 3198}, {338, 266, 9}}},
+		{Dataset: "shop14", MinPSPercent: 0.2, Counts: [3][3]int{
+			{342, 1077, 1906}, {257, 750, 1470}, {118, 14, 0}}},
+		{Dataset: "shop14", MinPSPercent: 0.3, Counts: [3][3]int{
+			{251, 744, 933}, {195, 534, 760}, {48, 3, 0}}},
+		{Dataset: "twitter", MinPSPercent: 2, Counts: [3][3]int{
+			{14736, 36354, 42319}, {8718, 17982, 19746}, {4551, 7749, 8103}}},
+		{Dataset: "twitter", MinPSPercent: 5, Counts: [3][3]int{
+			{1655, 11268, 26341}, {595, 6847, 7010}, {337, 3713, 5123}}},
+		{Dataset: "twitter", MinPSPercent: 10, Counts: [3][3]int{
+			{511, 714, 1190}, {11, 34, 912}, {6, 17, 98}}},
+	}
+}
+
+// PaperTable7 returns the published Table 7 runtimes in seconds
+// (Seconds[minRec-1][perIndex]).
+func PaperTable7() []Table7Row {
+	return []Table7Row{
+		{Dataset: "t10i4d100k", MinPSPercent: 0.1, Seconds: [3][3]float64{
+			{14.8, 150.9, 366.5}, {3.8, 10.7, 40.1}, {3.5, 3.9, 6.3}}},
+		{Dataset: "t10i4d100k", MinPSPercent: 0.2, Seconds: [3][3]float64{
+			{7.7, 45.9, 99.6}, {3.6, 5.4, 9.6}, {2.7, 3.1, 3.1}}},
+		{Dataset: "t10i4d100k", MinPSPercent: 0.3, Seconds: [3][3]float64{
+			{3.7, 11.6, 21.3}, {3.2, 3.4, 4.2}, {2.5, 2.4, 2.6}}},
+		{Dataset: "shop14", MinPSPercent: 0.1, Seconds: [3][3]float64{
+			{47.7, 55.6, 67.3}, {43.5, 47.7, 52.3}, {42.4, 45.1, 48.2}}},
+		{Dataset: "shop14", MinPSPercent: 0.2, Seconds: [3][3]float64{
+			{42.9, 46.1, 51.3}, {41.7, 43.4, 45.0}, {41.4, 42.1, 43.8}}},
+		{Dataset: "shop14", MinPSPercent: 0.3, Seconds: [3][3]float64{
+			{42.4, 44.0, 47.3}, {41.6, 42.1, 43.6}, {41.1, 41.5, 41.7}}},
+		{Dataset: "twitter", MinPSPercent: 2, Seconds: [3][3]float64{
+			{55.1, 190.0, 290.5}, {42.9, 154.9, 248.4}, {41.3, 139.2, 226.1}}},
+		{Dataset: "twitter", MinPSPercent: 5, Seconds: [3][3]float64{
+			{37.9, 134.3, 225.6}, {33.0, 105.3, 181.9}, {31.5, 96.1, 159.7}}},
+		{Dataset: "twitter", MinPSPercent: 10, Seconds: [3][3]float64{
+			{32.3, 108.3, 190.9}, {30.4, 89.2, 151.3}, {29.9, 66.9, 124.1}}},
+	}
+}
+
+// PaperTable8 returns the published Table 8 comparison (count, max length).
+func PaperTable8() []Table8Row {
+	return []Table8Row{
+		{Dataset: "shop14", Model: "PF patterns", Count: 22, MaxLen: 3},
+		{Dataset: "shop14", Model: "Recurring patterns", Count: 4977, MaxLen: 9},
+		{Dataset: "shop14", Model: "p-patterns", Count: 156700, MaxLen: 12},
+		{Dataset: "twitter", Model: "PF patterns", Count: 466, MaxLen: 2},
+		{Dataset: "twitter", Model: "Recurring patterns", Count: 42319, MaxLen: 7},
+		{Dataset: "twitter", Model: "p-patterns", Count: 442076, MaxLen: 16},
+	}
+}
+
+// ShapeCheck is one directional comparison between the paper's numbers and
+// a reproduction run.
+type ShapeCheck struct {
+	Axis  string // what is varied
+	Where string // at which fixed coordinates
+	Paper string // direction in the paper: "up", "down", "flat"
+	Ours  string
+	Agree bool
+}
+
+// ShapeReport compares a reproduced Table 5 against the paper's Table 5
+// along every axis the paper discusses in Section 5.2:
+//
+//   - at fixed (per, minRec), counts fall as minPS rises;
+//   - at fixed (per, minPS), counts fall as minRec rises;
+//   - at fixed (minPS, minRec=1), counts rise with per.
+//
+// Directions are computed on both tables and compared, so the report
+// gives a machine-checked verdict per axis instead of eyeballing numbers.
+func ShapeReport(ours []Table5Row) []ShapeCheck {
+	paper := PaperTable5()
+	index := func(rows []Table5Row) map[string]map[float64][3][3]int {
+		m := map[string]map[float64][3][3]int{}
+		for _, r := range rows {
+			if m[r.Dataset] == nil {
+				m[r.Dataset] = map[float64][3][3]int{}
+			}
+			m[r.Dataset][r.MinPSPercent] = r.Counts
+		}
+		return m
+	}
+	po := index(paper)
+	oo := index(ours)
+
+	var checks []ShapeCheck
+	dir := func(a, b int) string {
+		switch {
+		case b > a:
+			return "up"
+		case b < a:
+			return "down"
+		default:
+			return "flat"
+		}
+	}
+	for _, r := range ours {
+		pRows, ok := po[r.Dataset]
+		if !ok {
+			continue
+		}
+		pCounts, ok := pRows[r.MinPSPercent]
+		if !ok {
+			continue
+		}
+		// minRec axis at each per.
+		for j, per := range paperPers {
+			for k := 0; k < 2; k++ {
+				checks = append(checks, ShapeCheck{
+					Axis:  fmt.Sprintf("minRec %d->%d", k+1, k+2),
+					Where: fmt.Sprintf("%s minPS=%g%% per=%d", r.Dataset, r.MinPSPercent, per),
+					Paper: dir(pCounts[k][j], pCounts[k+1][j]),
+					Ours:  dir(r.Counts[k][j], r.Counts[k+1][j]),
+				})
+			}
+		}
+		// per axis at minRec=1.
+		for j := 0; j < 2; j++ {
+			checks = append(checks, ShapeCheck{
+				Axis:  fmt.Sprintf("per %d->%d", paperPers[j], paperPers[j+1]),
+				Where: fmt.Sprintf("%s minPS=%g%% minRec=1", r.Dataset, r.MinPSPercent),
+				Paper: dir(pCounts[0][j], pCounts[0][j+1]),
+				Ours:  dir(r.Counts[0][j], r.Counts[0][j+1]),
+			})
+		}
+	}
+	// minPS axis: compare adjacent rows of the same dataset.
+	for _, ds := range DatasetNames() {
+		var pcts []float64
+		for _, r := range ours {
+			if r.Dataset == ds {
+				pcts = append(pcts, r.MinPSPercent)
+			}
+		}
+		for i := 0; i+1 < len(pcts); i++ {
+			a, okA := oo[ds][pcts[i]]
+			b, okB := oo[ds][pcts[i+1]]
+			pa, okPA := po[ds][pcts[i]]
+			pb, okPB := po[ds][pcts[i+1]]
+			if !okA || !okB || !okPA || !okPB {
+				continue
+			}
+			for k := range paperMinRecs {
+				for j, per := range paperPers {
+					checks = append(checks, ShapeCheck{
+						Axis:  fmt.Sprintf("minPS %g%%->%g%%", pcts[i], pcts[i+1]),
+						Where: fmt.Sprintf("%s minRec=%d per=%d", ds, k+1, per),
+						Paper: dir(pa[k][j], pb[k][j]),
+						Ours:  dir(a[k][j], b[k][j]),
+					})
+				}
+			}
+		}
+	}
+	for i := range checks {
+		checks[i].Agree = checks[i].Paper == checks[i].Ours ||
+			checks[i].Paper == "flat" || checks[i].Ours == "flat"
+	}
+	return checks
+}
+
+// FormatShapeReport renders the checks with a summary line.
+func FormatShapeReport(checks []ShapeCheck) string {
+	var b strings.Builder
+	agree := 0
+	for _, c := range checks {
+		if c.Agree {
+			agree++
+		} else {
+			fmt.Fprintf(&b, "DISAGREE %-18s at %-40s paper=%s ours=%s\n",
+				c.Axis, c.Where, c.Paper, c.Ours)
+		}
+	}
+	fmt.Fprintf(&b, "shape agreement: %d/%d directional checks match the paper\n", agree, len(checks))
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperTablesWellFormed(t *testing.T) {
+	t5 := PaperTable5()
+	if len(t5) != 9 {
+		t.Fatalf("PaperTable5 has %d rows, want 9", len(t5))
+	}
+	// Spot-check the transcription against memorable cells of the paper.
+	if t5[0].Counts[0][2] != 7193 {
+		t.Errorf("T10 0.1%% rec=1 per=1440 = %d, want 7193", t5[0].Counts[0][2])
+	}
+	if t5[6].Counts[0][0] != 14736 {
+		t.Errorf("Twitter 2%% rec=1 per=360 = %d, want 14736", t5[6].Counts[0][0])
+	}
+	if t5[3].Counts[2][2] != 9 {
+		t.Errorf("Shop 0.1%% rec=3 per=1440 = %d, want 9", t5[3].Counts[2][2])
+	}
+	t7 := PaperTable7()
+	if len(t7) != 9 {
+		t.Fatalf("PaperTable7 has %d rows, want 9", len(t7))
+	}
+	if t7[0].Seconds[0][2] != 366.5 {
+		t.Errorf("T10 0.1%% rec=1 per=1440 runtime = %v, want 366.5", t7[0].Seconds[0][2])
+	}
+	t8 := PaperTable8()
+	if len(t8) != 6 {
+		t.Fatalf("PaperTable8 has %d rows, want 6", len(t8))
+	}
+	if t8[5].Count != 442076 || t8[5].MaxLen != 16 {
+		t.Errorf("Twitter p-patterns = %+v", t8[5])
+	}
+}
+
+func TestShapeReportSelfAgreement(t *testing.T) {
+	// The paper's own table must agree with itself on every check.
+	checks := ShapeReport(PaperTable5())
+	if len(checks) == 0 {
+		t.Fatal("no checks generated")
+	}
+	for _, c := range checks {
+		if !c.Agree {
+			t.Errorf("paper disagrees with itself: %+v", c)
+		}
+	}
+	out := FormatShapeReport(checks)
+	if !strings.Contains(out, "shape agreement:") {
+		t.Errorf("missing summary: %s", out)
+	}
+}
+
+func TestShapeReportDetectsDisagreement(t *testing.T) {
+	rows := PaperTable5()
+	// Invert the per trend of the first row at minRec=1.
+	rows[0].Counts[0] = [3]int{7193, 1254, 428}
+	checks := ShapeReport(rows)
+	found := false
+	for _, c := range checks {
+		if !c.Agree && strings.HasPrefix(c.Axis, "per") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inverted per trend not detected")
+	}
+	if out := FormatShapeReport(checks); !strings.Contains(out, "DISAGREE") {
+		t.Error("report does not surface the disagreement")
+	}
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/recurpat/rp/internal/core"
+)
+
+// Table7Row is one row of the paper's Table 7: RP-growth runtime in seconds
+// for a dataset and minPS value at every (minRec, per) combination.
+// Seconds[i][j] corresponds to minRec = paperMinRecs[i], per = paperPers[j].
+type Table7Row struct {
+	Dataset      string
+	MinPSPercent float64
+	Seconds      [3][3]float64
+}
+
+// Table7 regenerates the paper's Table 7 for one dataset: a full timed
+// mining run per cell (unlike Table 5, runtimes cannot be shared across
+// minRec values, since minRec drives the pruning).
+func Table7(d *Dataset) ([]Table7Row, error) {
+	rows := make([]Table7Row, len(d.MinPSPercents))
+	for i, pct := range d.MinPSPercents {
+		rows[i] = Table7Row{Dataset: d.Name, MinPSPercent: pct}
+		minPS := core.MinPSFromPercent(d.DB, pct)
+		for k, minRec := range paperMinRecs {
+			for j, per := range d.Pers {
+				start := time.Now()
+				if _, err := core.Mine(d.DB, core.Options{Per: per, MinPS: minPS, MinRec: minRec}); err != nil {
+					return nil, err
+				}
+				rows[i].Seconds[k][j] = time.Since(start).Seconds()
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable7 renders Table 7 rows in the paper's layout.
+func FormatTable7(rows []Table7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-7s", "Dataset", "minPS")
+	for _, minRec := range paperMinRecs {
+		for _, per := range paperPers {
+			fmt.Fprintf(&b, " rec=%d,per=%-5d", minRec, per)
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %5.2f%%", r.Dataset, r.MinPSPercent)
+		for k := range paperMinRecs {
+			for j := range paperPers {
+				fmt.Fprintf(&b, " %14.2fs", r.Seconds[k][j])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func TestIncrementalRejectsBadInput(t *testing.T) {
+	if _, err := NewIncremental(Options{}); err == nil {
+		t.Error("invalid options must be rejected")
+	}
+	inc, err := NewIncremental(Options{Per: 2, MinPS: 2, MinRec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Append(5, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Append(5, "b"); err == nil {
+		t.Error("duplicate timestamp must be rejected")
+	}
+	if err := inc.Append(3, "b"); err == nil {
+		t.Error("out-of-order timestamp must be rejected")
+	}
+	if err := inc.Append(9); err == nil {
+		t.Error("empty transaction must be rejected")
+	}
+	if inc.Len() != 1 {
+		t.Errorf("Len = %d, want 1", inc.Len())
+	}
+}
+
+func TestIncrementalMatchesBatchRPList(t *testing.T) {
+	// After every append, the incremental candidate snapshot must equal a
+	// fresh Algorithm 1 scan over the same prefix.
+	rng := rand.New(rand.NewPCG(31, 31))
+	for run := 0; run < 10; run++ {
+		o := Options{Per: rng.Int64N(5) + 1, MinPS: rng.IntN(3) + 1, MinRec: rng.IntN(2) + 1}
+		inc, err := NewIncremental(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := tsdb.NewBuilder()
+		names := []string{"a", "b", "c", "d", "e"}
+		ts := int64(0)
+		for step := 0; step < 40; step++ {
+			ts += rng.Int64N(4) + 1
+			var items []string
+			for _, n := range names {
+				if rng.Float64() < 0.4 {
+					items = append(items, n)
+				}
+			}
+			if len(items) == 0 {
+				items = []string{names[rng.IntN(len(names))]}
+			}
+			if err := inc.Append(ts, items...); err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range items {
+				batch.Add(n, ts)
+			}
+			got := inc.Candidates()
+			want := BuildRPList(batch.Build(), o).Candidates
+			if !sameEntries(inc.dict, batch.Dict(), got, want) {
+				t.Fatalf("run %d step %d: incremental %+v != batch %+v", run, step, got, want)
+			}
+		}
+	}
+}
+
+// sameEntries compares candidate lists across two dictionaries by item
+// name (the incremental accumulator and the batch builder intern in
+// potentially different orders).
+func sameEntries(da, db *tsdb.Dictionary, a, b []RPListEntry) bool {
+	type row struct {
+		sup, erec int
+	}
+	ma := map[string]row{}
+	for _, e := range a {
+		ma[da.Name(e.Item)] = row{e.Support, e.Erec}
+	}
+	mb := map[string]row{}
+	for _, e := range b {
+		mb[db.Name(e.Item)] = row{e.Support, e.Erec}
+	}
+	return reflect.DeepEqual(ma, mb)
+}
+
+func TestIncrementalMine(t *testing.T) {
+	o := Options{Per: 2, MinPS: 3, MinRec: 2}
+	inc, err := NewIncremental(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		ts    int64
+		items []string
+	}{
+		{1, []string{"a", "b", "g"}}, {2, []string{"a", "c", "d"}},
+		{3, []string{"a", "b", "e", "f"}}, {4, []string{"a", "b", "c", "d"}},
+		{5, []string{"c", "d", "e", "f", "g"}}, {6, []string{"e", "f", "g"}},
+		{7, []string{"a", "b", "c", "g"}}, {9, []string{"c", "d"}},
+		{10, []string{"c", "d", "e", "f"}}, {11, []string{"a", "b", "e", "f"}},
+		{12, []string{"a", "b", "c", "d", "e", "f", "g"}}, {14, []string{"a", "b", "g"}},
+	}
+	for _, r := range rows {
+		if err := inc.Append(r.ts, r.items...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := inc.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stream is the paper's running example: Table 2 has 8 patterns.
+	if len(res.Patterns) != 8 {
+		t.Fatalf("got %d patterns, want 8", len(res.Patterns))
+	}
+	// And the snapshot candidates must match Figure 4(f): a b c d e f.
+	cands := inc.Candidates()
+	if len(cands) != 6 {
+		t.Fatalf("got %d candidates, want 6: %+v", len(cands), cands)
+	}
+	if inc.dict.Name(cands[0].Item) != "a" || cands[0].Support != 8 || cands[0].Erec != 2 {
+		t.Errorf("first candidate = %+v, want a(8,2)", cands[0])
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// Mine discovers the complete set of recurring patterns in db under the
+// thresholds in o using the RP-growth algorithm (paper Section 4): one scan
+// builds the RP-list of candidate items, a second scan builds the RP-tree,
+// and bottom-up pattern growth with Erec pruning enumerates the patterns.
+//
+// The result is canonically ordered (by pattern length, then item IDs).
+func Mine(db *tsdb.DB, o Options) (*Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	list := BuildRPList(db, o)
+	if o.CollectStats {
+		res.Stats.CandidateItems = len(list.Candidates)
+	}
+	if len(list.Candidates) == 0 {
+		return res, nil
+	}
+	tree := buildRPTree(db, list)
+	if o.CollectStats {
+		res.Stats.TreeNodes += tree.nodes
+	}
+	if o.Parallelism > 1 {
+		mineParallel(tree, o, res)
+	} else {
+		m := &miner{o: o, res: res}
+		m.mineTree(tree, nil, 1)
+	}
+	res.Canonicalize()
+	return res, nil
+}
+
+// miner carries the mining context of one (sequential) RP-growth run.
+type miner struct {
+	o   Options
+	res *Result
+}
+
+// mineTree is Algorithm 4 (RP-growth): process the tree's items bottom-up;
+// for each item, collect the suffix pattern's timestamp list, apply the Erec
+// candidate check, evaluate recurrence (Algorithm 5), recurse into the
+// conditional tree, and push the item's ts-lists up for the next iteration.
+func (m *miner) mineTree(t *rpTree, suffix []tsdb.ItemID, depth int) {
+	if m.o.CollectStats && depth > m.res.Stats.MaxDepth {
+		m.res.Stats.MaxDepth = depth
+	}
+	for r := len(t.order) - 1; r >= 0; r-- {
+		item := t.order[r]
+		ts := t.collectTS(r, nil)
+		if len(ts) > 0 {
+			m.extend(t, r, item, ts, suffix, depth)
+		}
+		t.pushUp(r)
+	}
+}
+
+// extend evaluates the pattern beta = suffix + item and recurses into its
+// conditional tree when the Erec bound allows supersets to recur.
+func (m *miner) extend(t *rpTree, r int, item tsdb.ItemID, ts []int64, suffix []tsdb.ItemID, depth int) {
+	if m.o.candidateErec(ts) < m.o.MinRec {
+		if m.o.CollectStats {
+			m.res.Stats.PatternsPruned++
+		}
+		return
+	}
+	beta := make([]tsdb.ItemID, 0, len(suffix)+1)
+	beta = append(beta, suffix...)
+	beta = append(beta, item)
+
+	if m.o.CollectStats {
+		m.res.Stats.PatternsExamined++
+	}
+	rec, ipi := Recurrence(ts, m.o.Per, m.o.MinPS)
+	if rec >= m.o.MinRec {
+		m.emit(beta, len(ts), rec, ipi)
+	}
+	if m.o.MaxLen > 0 && len(beta) >= m.o.MaxLen {
+		return
+	}
+	cond := t.conditionalTree(r, m.o, false)
+	if cond == nil {
+		return
+	}
+	if m.o.CollectStats {
+		m.res.Stats.TreeNodes += cond.nodes
+	}
+	m.mineTree(cond, beta, depth+1)
+}
+
+func (m *miner) emit(beta []tsdb.ItemID, support, rec int, ipi []Interval) {
+	items := make([]tsdb.ItemID, len(beta))
+	copy(items, beta)
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	m.res.Patterns = append(m.res.Patterns, Pattern{
+		Items:      items,
+		Support:    support,
+		Recurrence: rec,
+		Intervals:  ipi,
+	})
+}
+
+// mineParallel mines the top-level suffix items concurrently. The shared
+// initial tree is read-only in this mode: each worker merges subtree
+// ts-lists instead of relying on the sequential push-up mutation, which
+// yields exactly the same conditional bases (every descendant tail of an
+// item's node belongs to a transaction containing the item). Partial results
+// are merged in deterministic order.
+func mineParallel(t *rpTree, o Options, res *Result) {
+	partial := make([]Result, len(t.order))
+	sem := make(chan struct{}, o.Parallelism)
+	var wg sync.WaitGroup
+	for r := range t.order {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sub := &partial[r]
+			m := &miner{o: o, res: sub}
+			var ts []int64
+			for n := t.headers[r]; n != nil; n = n.link {
+				ts = appendSubtreeTS(n, ts)
+			}
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+			if len(ts) == 0 {
+				return
+			}
+			item := t.order[r]
+			if o.candidateErec(ts) < o.MinRec {
+				if o.CollectStats {
+					sub.Stats.PatternsPruned++
+				}
+				return
+			}
+			if o.CollectStats {
+				sub.Stats.PatternsExamined++
+			}
+			rec, ipi := Recurrence(ts, o.Per, o.MinPS)
+			beta := []tsdb.ItemID{item}
+			if rec >= o.MinRec {
+				m.emit(beta, len(ts), rec, ipi)
+			}
+			if o.MaxLen == 1 {
+				return
+			}
+			cond := t.conditionalTree(r, o, true)
+			if cond == nil {
+				return
+			}
+			if o.CollectStats {
+				sub.Stats.TreeNodes += cond.nodes
+			}
+			m.mineTree(cond, beta, 2)
+		}(r)
+	}
+	wg.Wait()
+	for i := range partial {
+		res.Patterns = append(res.Patterns, partial[i].Patterns...)
+		res.Stats.PatternsExamined += partial[i].Stats.PatternsExamined
+		res.Stats.PatternsPruned += partial[i].Stats.PatternsPruned
+		res.Stats.TreeNodes += partial[i].Stats.TreeNodes
+		if partial[i].Stats.MaxDepth > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = partial[i].Stats.MaxDepth
+		}
+	}
+}

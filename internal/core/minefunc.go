@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// MineFunc runs RP-growth and invokes fn for every recurring pattern as it
+// is discovered, instead of accumulating a result slice — memory stays
+// bounded by the tree, not by the (possibly huge) pattern set. Patterns
+// arrive in discovery order (suffix-item order, not the canonical order of
+// Mine); returning false from fn stops mining early.
+//
+// MineFunc is always sequential; Options.Parallelism is ignored so the
+// callback never races with itself.
+func MineFunc(db *tsdb.DB, o Options, fn func(Pattern) bool) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	list := BuildRPList(db, o)
+	if len(list.Candidates) == 0 {
+		return nil
+	}
+	tree := buildRPTree(db, list)
+	m := &funcMiner{o: o, fn: fn}
+	m.mineTree(tree, nil, 1)
+	return nil
+}
+
+type funcMiner struct {
+	o       Options
+	fn      func(Pattern) bool
+	stopped bool
+}
+
+func (m *funcMiner) mineTree(t *rpTree, suffix []tsdb.ItemID, depth int) {
+	for r := len(t.order) - 1; r >= 0 && !m.stopped; r-- {
+		item := t.order[r]
+		ts := t.collectTS(r, nil)
+		if len(ts) > 0 {
+			m.extend(t, r, item, ts, suffix, depth)
+		}
+		t.pushUp(r)
+	}
+}
+
+func (m *funcMiner) extend(t *rpTree, r int, item tsdb.ItemID, ts []int64, suffix []tsdb.ItemID, depth int) {
+	if m.o.candidateErec(ts) < m.o.MinRec {
+		return
+	}
+	beta := make([]tsdb.ItemID, 0, len(suffix)+1)
+	beta = append(beta, suffix...)
+	beta = append(beta, item)
+	rec, ipi := Recurrence(ts, m.o.Per, m.o.MinPS)
+	if rec >= m.o.MinRec {
+		items := make([]tsdb.ItemID, len(beta))
+		copy(items, beta)
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		if !m.fn(Pattern{Items: items, Support: len(ts), Recurrence: rec, Intervals: ipi}) {
+			m.stopped = true
+			return
+		}
+	}
+	if m.o.MaxLen > 0 && len(beta) >= m.o.MaxLen {
+		return
+	}
+	cond := t.conditionalTree(r, m.o, false)
+	if cond == nil {
+		return
+	}
+	m.mineTree(cond, beta, depth+1)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMineFuncMatchesMine(t *testing.T) {
+	db := paperDB(t)
+	o := paperOptions()
+	var collected Result
+	err := MineFunc(db, o, func(p Pattern) bool {
+		collected.Patterns = append(collected.Patterns, p)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collected.Canonicalize()
+	want, err := Mine(db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !collected.Equal(want) {
+		t.Fatalf("MineFunc collected %d patterns, Mine found %d",
+			len(collected.Patterns), len(want.Patterns))
+	}
+}
+
+func TestMineFuncEarlyStop(t *testing.T) {
+	db := paperDB(t)
+	calls := 0
+	err := MineFunc(db, paperOptions(), func(Pattern) bool {
+		calls++
+		return calls < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("callback ran %d times, want exactly 3 (stop after third)", calls)
+	}
+}
+
+func TestMineFuncValidatesOptions(t *testing.T) {
+	db := paperDB(t)
+	if err := MineFunc(db, Options{}, func(Pattern) bool { return true }); err == nil {
+		t.Error("invalid options must be rejected")
+	}
+}
+
+func TestMineFuncEmptyCandidates(t *testing.T) {
+	db := paperDB(t)
+	// Impossible thresholds: no candidates, callback never fires.
+	o := Options{Per: 1, MinPS: 100, MinRec: 5}
+	called := false
+	if err := MineFunc(db, o, func(Pattern) bool { called = true; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("callback fired with no candidates")
+	}
+}

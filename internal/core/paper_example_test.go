@@ -1,0 +1,282 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// paperDB reconstructs Table 1 of the paper: the transactional database
+// built from the running-example time series of Figure 1.
+func paperDB(t testing.TB) *tsdb.DB {
+	t.Helper()
+	rows := map[int64][]string{
+		1:  {"a", "b", "g"},
+		2:  {"a", "c", "d"},
+		3:  {"a", "b", "e", "f"},
+		4:  {"a", "b", "c", "d"},
+		5:  {"c", "d", "e", "f", "g"},
+		6:  {"e", "f", "g"},
+		7:  {"a", "b", "c", "g"},
+		9:  {"c", "d"},
+		10: {"c", "d", "e", "f"},
+		11: {"a", "b", "e", "f"},
+		12: {"a", "b", "c", "d", "e", "f", "g"},
+		14: {"a", "b", "g"},
+	}
+	b := tsdb.NewBuilder()
+	// Intern in the paper's alphabet order for stable IDs a=0..g=6.
+	for _, name := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		b.Dict().Intern(name)
+	}
+	for ts, items := range rows {
+		for _, it := range items {
+			b.Add(it, ts)
+		}
+	}
+	db := b.Build()
+	if err := db.Validate(); err != nil {
+		t.Fatalf("paper DB invalid: %v", err)
+	}
+	return db
+}
+
+// paperOptions are the running example thresholds: per=2, minPS=3, minRec=2.
+func paperOptions() Options { return Options{Per: 2, MinPS: 3, MinRec: 2} }
+
+func mustPattern(t testing.TB, db *tsdb.DB, names ...string) []tsdb.ItemID {
+	t.Helper()
+	ids, err := db.InternPattern(names)
+	if err != nil {
+		t.Fatalf("intern %v: %v", names, err)
+	}
+	return ids
+}
+
+func TestPaperTSLists(t *testing.T) {
+	db := paperDB(t)
+	// Example 2: TS^ab = {1, 3, 4, 7, 11, 12, 14}.
+	got := db.TSList(mustPattern(t, db, "a", "b"))
+	want := []int64{1, 3, 4, 7, 11, 12, 14}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TS^ab = %v, want %v", got, want)
+	}
+	// Example 3: Sup(ab) = 7.
+	if len(got) != 7 {
+		t.Errorf("Sup(ab) = %d, want 7", len(got))
+	}
+	// Example 1: point sequence of 'a'.
+	a := db.TSList(mustPattern(t, db, "a"))
+	wantA := []int64{1, 2, 3, 4, 7, 11, 12, 14}
+	if !reflect.DeepEqual(a, wantA) {
+		t.Errorf("TS^a = %v, want %v", a, wantA)
+	}
+}
+
+func TestPaperIntervals(t *testing.T) {
+	db := paperDB(t)
+	// Example 5: with per=2, the periodic intervals of 'ab' are
+	// [1,4], [7,7] and [11,14] with periodic supports 3, 1, 3 (Example 6).
+	ts := db.TSList(mustPattern(t, db, "a", "b"))
+	got := Intervals(ts, 2)
+	want := []Interval{{1, 4, 3}, {7, 7, 1}, {11, 14, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Intervals(ab) = %v, want %v", got, want)
+	}
+}
+
+func TestPaperRecurrence(t *testing.T) {
+	db := paperDB(t)
+	// Examples 7-9: with minPS=3, IPI^ab = {[1,4], [11,14]}, Rec(ab)=2.
+	ts := db.TSList(mustPattern(t, db, "a", "b"))
+	rec, ipi := Recurrence(ts, 2, 3)
+	if rec != 2 {
+		t.Errorf("Rec(ab) = %d, want 2", rec)
+	}
+	want := []Interval{{1, 4, 3}, {11, 14, 3}}
+	if !reflect.DeepEqual(ipi, want) {
+		t.Errorf("IPI^ab = %v, want %v", ipi, want)
+	}
+}
+
+func TestPaperErec(t *testing.T) {
+	db := paperDB(t)
+	// Example 11: item 'g' occurs at {1,5,6,7,12,14}; with per=2, minPS=3
+	// its runs have periodic supports 1, 3, 2 so Erec(g) = 1.
+	g := db.TSList(mustPattern(t, db, "g"))
+	if got := Erec(g, 2, 3); got != 1 {
+		t.Errorf("Erec(g) = %d, want 1", got)
+	}
+	// Example 10: Rec(c) = 1 but Erec(c) = floor(7/3) = 2, so 'c' must stay
+	// a candidate even though it is not recurring (its superset 'cd' is).
+	c := db.TSList(mustPattern(t, db, "c"))
+	rec, _ := Recurrence(c, 2, 3)
+	if rec != 1 {
+		t.Errorf("Rec(c) = %d, want 1", rec)
+	}
+	if got := Erec(c, 2, 3); got != 2 {
+		t.Errorf("Erec(c) = %d, want 2", got)
+	}
+}
+
+func TestPaperRPList(t *testing.T) {
+	db := paperDB(t)
+	list := BuildRPList(db, paperOptions())
+	// Figure 4(e)-(f): candidates sorted support-descending are
+	// a(8,2) b(7,2) c(7,2) d(6,2) e(6,2) f(6,2); g is pruned (erec 1 < 2).
+	want := []RPListEntry{}
+	for _, row := range []struct {
+		name string
+		sup  int
+		erec int
+	}{
+		{"a", 8, 2}, {"b", 7, 2}, {"c", 7, 2}, {"d", 6, 2}, {"e", 6, 2}, {"f", 6, 2},
+	} {
+		id, _ := db.Dict.Lookup(row.name)
+		want = append(want, RPListEntry{Item: id, Support: row.sup, Erec: row.erec})
+	}
+	if !reflect.DeepEqual(list.Candidates, want) {
+		t.Errorf("RP-list = %+v, want %+v", list.Candidates, want)
+	}
+	if list.TotalItems() != 7 {
+		t.Errorf("TotalItems = %d, want 7", list.TotalItems())
+	}
+	if g, _ := db.Dict.Lookup("g"); list.IsCandidate(g) {
+		t.Error("g should be pruned from the RP-list")
+	}
+}
+
+// wantTable2 returns the complete Table 2 of the paper: every recurring
+// pattern of the running example with its support, recurrence and
+// interesting periodic intervals.
+func wantTable2(t testing.TB, db *tsdb.DB) []Pattern {
+	rows := []struct {
+		names []string
+		sup   int
+		ipi   []Interval
+	}{
+		{[]string{"a"}, 8, []Interval{{1, 4, 4}, {11, 14, 3}}},
+		{[]string{"b"}, 7, []Interval{{1, 4, 3}, {11, 14, 3}}},
+		{[]string{"d"}, 6, []Interval{{2, 5, 3}, {9, 12, 3}}},
+		{[]string{"e"}, 6, []Interval{{3, 6, 3}, {10, 12, 3}}},
+		{[]string{"f"}, 6, []Interval{{3, 6, 3}, {10, 12, 3}}},
+		{[]string{"a", "b"}, 7, []Interval{{1, 4, 3}, {11, 14, 3}}},
+		{[]string{"c", "d"}, 6, []Interval{{2, 5, 3}, {9, 12, 3}}},
+		{[]string{"e", "f"}, 6, []Interval{{3, 6, 3}, {10, 12, 3}}},
+	}
+	var want []Pattern
+	for _, r := range rows {
+		want = append(want, Pattern{
+			Items:      mustPattern(t, db, r.names...),
+			Support:    r.sup,
+			Recurrence: 2,
+			Intervals:  r.ipi,
+		})
+	}
+	res := &Result{Patterns: want}
+	res.Canonicalize()
+	return res.Patterns
+}
+
+func checkTable2(t *testing.T, db *tsdb.DB, got *Result, minerName string) {
+	t.Helper()
+	want := wantTable2(t, db)
+	if len(got.Patterns) != len(want) {
+		t.Fatalf("%s found %d patterns, want %d:\ngot  %v\nwant %v",
+			minerName, len(got.Patterns), len(want), formatAll(db, got.Patterns), formatAll(db, want))
+	}
+	for i := range want {
+		if !patternEqual(got.Patterns[i], want[i]) {
+			t.Errorf("%s pattern %d = %s, want %s",
+				minerName, i, got.Patterns[i].Format(db.Dict), want[i].Format(db.Dict))
+		}
+	}
+}
+
+func formatAll(db *tsdb.DB, ps []Pattern) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Format(db.Dict)
+	}
+	return out
+}
+
+func TestMinePaperExample(t *testing.T) {
+	db := paperDB(t)
+	res, err := Mine(db, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable2(t, db, res, "RP-growth")
+}
+
+func TestMineVerticalPaperExample(t *testing.T) {
+	db := paperDB(t)
+	res, err := MineVertical(db, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable2(t, db, res, "vertical")
+}
+
+func TestMineBruteForcePaperExample(t *testing.T) {
+	db := paperDB(t)
+	res, err := MineBruteForce(db, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable2(t, db, res, "brute force")
+}
+
+func TestMineParallelPaperExample(t *testing.T) {
+	db := paperDB(t)
+	o := paperOptions()
+	o.Parallelism = 4
+	res, err := Mine(db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable2(t, db, res, "parallel RP-growth")
+}
+
+func TestMinePaperExampleNoPruning(t *testing.T) {
+	db := paperDB(t)
+	o := paperOptions()
+	o.DisableErecPruning = true
+	res, err := Mine(db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable2(t, db, res, "RP-growth (pruning off)")
+}
+
+func TestPaperMaxLen(t *testing.T) {
+	db := paperDB(t)
+	o := paperOptions()
+	o.MaxLen = 1
+	res, err := Mine(db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the five single-item rows of Table 2 remain.
+	if len(res.Patterns) != 5 {
+		t.Fatalf("MaxLen=1 found %d patterns, want 5: %v", len(res.Patterns), formatAll(db, res.Patterns))
+	}
+	for _, p := range res.Patterns {
+		if p.Len() != 1 {
+			t.Errorf("MaxLen=1 produced %s", p.Format(db.Dict))
+		}
+	}
+}
+
+func TestMinePaperExampleLexicographicOrder(t *testing.T) {
+	db := paperDB(t)
+	o := paperOptions()
+	o.ItemOrder = Lexicographic
+	res, err := Mine(db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable2(t, db, res, "RP-growth (lexicographic order)")
+}

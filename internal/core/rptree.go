@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// rpNode is a node of the RP-tree prefix tree (paper Section 4.2.1). Unlike
+// an FP-tree node it carries no support count; instead, tail nodes (the last
+// node of each inserted candidate projection) carry the ts-list of the
+// transactions that end there. During bottom-up mining, ts-lists are pushed
+// up to parents (Lemma 3), so interior nodes accumulate timestamps too.
+type rpNode struct {
+	item     tsdb.ItemID
+	parent   *rpNode
+	children map[tsdb.ItemID]*rpNode
+	link     *rpNode // next node carrying the same item (node-traversal pointer)
+	ts       []int64 // tail-node timestamp list; possibly unsorted after push-ups
+}
+
+// rpTree is a prefix tree plus the per-item header chains. The item order is
+// support-descending within the tree's own database (the full TDB for the
+// initial tree, the conditional pattern base for conditional trees).
+type rpTree struct {
+	root    *rpNode
+	order   []tsdb.ItemID       // tree item order, most frequent first
+	rank    map[tsdb.ItemID]int // item -> position in order
+	headers []*rpNode           // first node per rank
+	nodes   int                 // nodes created (stats)
+}
+
+func newRPTree(order []tsdb.ItemID) *rpTree {
+	t := &rpTree{
+		root:    &rpNode{children: make(map[tsdb.ItemID]*rpNode)},
+		order:   order,
+		rank:    make(map[tsdb.ItemID]int, len(order)),
+		headers: make([]*rpNode, len(order)),
+	}
+	for i, it := range order {
+		t.rank[it] = i
+	}
+	return t
+}
+
+// insert adds one sorted candidate projection with the timestamps ts ending
+// at its tail node (Algorithm 3, insert_tree). The path must already be
+// ordered by the tree's rank. ts is appended, not aliased.
+func (t *rpTree) insert(path []tsdb.ItemID, ts ...int64) {
+	cur := t.root
+	for _, item := range path {
+		child, ok := cur.children[item]
+		if !ok {
+			child = &rpNode{
+				item:     item,
+				parent:   cur,
+				children: make(map[tsdb.ItemID]*rpNode),
+			}
+			cur.children[item] = child
+			r := t.rank[item]
+			child.link = t.headers[r]
+			t.headers[r] = child
+			t.nodes++
+		}
+		cur = child
+	}
+	if cur != t.root {
+		cur.ts = append(cur.ts, ts...)
+	}
+}
+
+// BuildRPTree performs the second database scan of RP-growth (Algorithm 2):
+// every transaction's candidate item projection is inserted into the prefix
+// tree with the transaction's timestamp recorded at the tail node.
+func buildRPTree(db *tsdb.DB, list *RPList) *rpTree {
+	order := make([]tsdb.ItemID, len(list.Candidates))
+	for i, e := range list.Candidates {
+		order[i] = e.Item
+	}
+	t := newRPTree(order)
+	var proj []tsdb.ItemID
+	for _, tr := range db.Trans {
+		proj = list.Project(proj[:0], tr.Items)
+		if len(proj) == 0 {
+			continue
+		}
+		t.insert(proj, tr.TS)
+	}
+	return t
+}
+
+// collectTS merges the ts-lists of every node carrying the item at rank r
+// into a sorted timestamp list. During sequential mining this is TS^beta for
+// the suffix pattern being processed, because deeper items have already
+// pushed their ts-lists up (Lemma 3).
+func (t *rpTree) collectTS(r int, dst []int64) []int64 {
+	for n := t.headers[r]; n != nil; n = n.link {
+		dst = append(dst, n.ts...)
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+// collectSubtreeTS merges the ts-lists of n and all its descendants, sorted.
+// Used by the parallel miner, which reads a shared immutable tree and so
+// cannot rely on push-ups having happened.
+func collectSubtreeTS(n *rpNode, dst []int64) []int64 {
+	dst = appendSubtreeTS(n, dst)
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+func appendSubtreeTS(n *rpNode, dst []int64) []int64 {
+	dst = append(dst, n.ts...)
+	for _, c := range n.children {
+		dst = appendSubtreeTS(c, dst)
+	}
+	return dst
+}
+
+// pushUp implements Lemma 3 and line 9 of Algorithm 4: every node carrying
+// the item at rank r hands its ts-list to its parent and is removed from the
+// tree. Timestamps pushed to the root (projections that contained only this
+// item) are discarded; the transactions they identify contain no other
+// candidate item.
+func (t *rpTree) pushUp(r int) {
+	for n := t.headers[r]; n != nil; n = n.link {
+		if n.parent != t.root {
+			n.parent.ts = append(n.parent.ts, n.ts...)
+		}
+		delete(n.parent.children, n.item)
+		n.parent = nil
+		n.ts = nil
+	}
+	t.headers[r] = nil
+}
+
+// conditionalTree builds the conditional RP-tree for the item at rank r
+// (Algorithm 4 line 4): the prefix paths of the item's nodes, restricted to
+// items whose conditional Erec passes the candidate check (computed from
+// the per-item merged ts-lists — the "temporary array" of Section 4.2.3),
+// re-sorted by conditional support. nil is returned when no item survives.
+//
+// subtree selects how a node's timestamp list is read: the sequential miner
+// reads n.ts directly (push-ups have accumulated descendant timestamps),
+// while the parallel miner merges each node's subtree.
+func (t *rpTree) conditionalTree(r int, o Options, subtree bool) *rpTree {
+	// First pass: conditional timestamp list per prefix item.
+	condTS := make(map[tsdb.ItemID][]int64)
+	type basePath struct {
+		ts    []int64
+		items []tsdb.ItemID // ancestors, root-most first
+	}
+	var base []basePath
+	for n := t.headers[r]; n != nil; n = n.link {
+		var ts []int64
+		if subtree {
+			ts = collectSubtreeTS(n, nil)
+		} else {
+			ts = n.ts
+		}
+		if len(ts) == 0 || n.parent == t.root {
+			continue
+		}
+		var items []tsdb.ItemID
+		for p := n.parent; p != t.root; p = p.parent {
+			items = append(items, p.item)
+			condTS[p.item] = append(condTS[p.item], ts...)
+		}
+		// Reverse into root-most-first order.
+		for i, j := 0, len(items)-1; i < j; i, j = i+1, j-1 {
+			items[i], items[j] = items[j], items[i]
+		}
+		base = append(base, basePath{ts: ts, items: items})
+	}
+	if len(condTS) == 0 {
+		return nil
+	}
+
+	// Keep items whose conditional Erec passes the candidate check
+	// (Properties 1-2 make this safe), order them by conditional support.
+	type kept struct {
+		item tsdb.ItemID
+		sup  int
+	}
+	var keep []kept
+	for item, ts := range condTS {
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		condTS[item] = ts
+		if o.candidateErec(ts) >= o.MinRec {
+			keep = append(keep, kept{item: item, sup: len(ts)})
+		}
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	sort.Slice(keep, func(i, j int) bool {
+		if o.ItemOrder == SupportDescending && keep[i].sup != keep[j].sup {
+			return keep[i].sup > keep[j].sup
+		}
+		return keep[i].item < keep[j].item
+	})
+	order := make([]tsdb.ItemID, len(keep))
+	for i, k := range keep {
+		order[i] = k.item
+	}
+
+	// Second pass: insert the filtered, re-sorted prefix paths.
+	cond := newRPTree(order)
+	var path []tsdb.ItemID
+	for _, bp := range base {
+		path = path[:0]
+		for _, it := range bp.items {
+			if _, ok := cond.rank[it]; ok {
+				path = append(path, it)
+			}
+		}
+		if len(path) == 0 {
+			continue
+		}
+		sort.Slice(path, func(i, j int) bool { return cond.rank[path[i]] < cond.rank[path[j]] })
+		cond.insert(path, bp.ts...)
+	}
+	return cond
+}

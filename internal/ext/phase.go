@@ -1,0 +1,134 @@
+package ext
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// ShiftOptions extends the recurring pattern thresholds with a phase-shift
+// tolerance: when a pattern's periodic appearance pauses and resumes with a
+// time offset (a phase shift), the strict model splits its interval in two.
+// With a tolerance, two periodic runs separated by a silent gap of at most
+// ShiftTolerance are treated as one interval whose periodic support is the
+// sum of the runs'.
+type ShiftOptions struct {
+	core.Options
+	// ShiftTolerance is the largest silent gap (in timestamp units) bridged
+	// between two periodic runs. Values at or below Per change nothing.
+	ShiftTolerance int64
+}
+
+// Validate reports the first violated constraint.
+func (o ShiftOptions) Validate() error {
+	if err := o.Options.Validate(); err != nil {
+		return err
+	}
+	if o.ShiftTolerance < 0 {
+		return fmt.Errorf("ext: ShiftTolerance must be non-negative, got %d", o.ShiftTolerance)
+	}
+	return nil
+}
+
+func (o ShiftOptions) bridge() int64 {
+	if o.ShiftTolerance > o.Per {
+		return o.ShiftTolerance
+	}
+	return o.Per
+}
+
+// ShiftRecurrence computes recurrence with phase-shift bridging: the strict
+// periodic runs (gaps <= Per) are computed first, adjacent runs separated by
+// at most the tolerance are merged, and the merged intervals are filtered by
+// MinPS.
+func ShiftRecurrence(ts []int64, o ShiftOptions) (rec int, ipi []core.Interval) {
+	runs := core.Intervals(ts, o.Per)
+	merged := MergeIntervals(runs, o.bridge())
+	for _, iv := range merged {
+		if iv.PS >= o.MinPS {
+			ipi = append(ipi, iv)
+			rec++
+		}
+	}
+	return rec, ipi
+}
+
+// MergeIntervals coalesces intervals whose separating gap (next.Start -
+// prev.End) is at most tol, summing their periodic supports. The input must
+// be in time order, as produced by core.Intervals.
+func MergeIntervals(ivs []core.Interval, tol int64) []core.Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	out := []core.Interval{ivs[0]}
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Start-last.End <= tol {
+			last.End = iv.End
+			last.PS += iv.PS
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// MineShifted discovers all patterns whose phase-shift-tolerant recurrence
+// reaches MinRec. Pruning mirrors MineNoisy: merged intervals lie inside
+// runs of the bridged period, so Erec at the bridge distance bounds the
+// shifted recurrence of a pattern and its supersets.
+func MineShifted(db *tsdb.DB, o ShiftOptions) (*core.Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	bridge := o.bridge()
+	res := &core.Result{}
+	all := db.ItemTSLists()
+	type entry struct {
+		item tsdb.ItemID
+		ts   []int64
+	}
+	var items []entry
+	for id, ts := range all {
+		if core.Erec(ts, bridge, o.MinPS) >= o.MinRec {
+			items = append(items, entry{item: tsdb.ItemID(id), ts: ts})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if len(items[i].ts) != len(items[j].ts) {
+			return len(items[i].ts) > len(items[j].ts)
+		}
+		return items[i].item < items[j].item
+	})
+
+	var dfs func(prefix []tsdb.ItemID, ts []int64, idx int)
+	dfs = func(prefix []tsdb.ItemID, ts []int64, idx int) {
+		rec, ipi := ShiftRecurrence(ts, o)
+		if rec >= o.MinRec {
+			sorted := make([]tsdb.ItemID, len(prefix))
+			copy(sorted, prefix)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			res.Patterns = append(res.Patterns, core.Pattern{
+				Items: sorted, Support: len(ts), Recurrence: rec, Intervals: ipi,
+			})
+		}
+		if o.MaxLen > 0 && len(prefix) >= o.MaxLen {
+			return
+		}
+		n := len(prefix)
+		for j := idx + 1; j < len(items); j++ {
+			ext := core.IntersectTS(nil, ts, items[j].ts)
+			if len(ext) == 0 || core.Erec(ext, bridge, o.MinPS) < o.MinRec {
+				continue
+			}
+			dfs(append(prefix[:n:n], items[j].item), ext, j)
+		}
+	}
+	for i := range items {
+		dfs([]tsdb.ItemID{items[i].item}, items[i].ts, i)
+	}
+	res.Canonicalize()
+	return res, nil
+}

@@ -1,0 +1,208 @@
+package ext
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// Rule is a recurring association rule A => c: when the items of A are
+// observed, item c tends to follow in the same transaction, and the joint
+// pattern A ∪ {c} recurs periodically during the rule's intervals. The paper
+// motivates these rules as the substrate of a temporally aware recommender
+// (Section 6).
+type Rule struct {
+	Antecedent []tsdb.ItemID // sorted ascending
+	Consequent tsdb.ItemID
+	// Support is the support of the joint pattern.
+	Support int
+	// Confidence is Sup(A ∪ {c}) / Sup(A).
+	Confidence float64
+	// Recurrence and Intervals describe the joint pattern's periodic
+	// behavior.
+	Recurrence int
+	Intervals  []core.Interval
+}
+
+// RuleOptions configures rule generation.
+type RuleOptions struct {
+	core.Options
+	// MinConfidence filters weak rules; in [0, 1].
+	MinConfidence float64
+}
+
+// Validate reports the first violated constraint.
+func (o RuleOptions) Validate() error {
+	if err := o.Options.Validate(); err != nil {
+		return err
+	}
+	if o.MinConfidence < 0 || o.MinConfidence > 1 {
+		return fmt.Errorf("ext: MinConfidence must be in [0,1], got %f", o.MinConfidence)
+	}
+	return nil
+}
+
+// Rules mines the recurring patterns of db and derives all single-consequent
+// rules A => c with confidence at least MinConfidence, where A ∪ {c} is a
+// recurring pattern of at least two items. Rules are ordered by descending
+// confidence, then support, then antecedent.
+func Rules(db *tsdb.DB, o RuleOptions) ([]Rule, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := core.Mine(db, o.Options)
+	if err != nil {
+		return nil, err
+	}
+	supCache := make(map[string]int)
+	supportOf := func(items []tsdb.ItemID) int {
+		key := fmt.Sprint(items)
+		if s, ok := supCache[key]; ok {
+			return s
+		}
+		s := len(db.TSList(items))
+		supCache[key] = s
+		return s
+	}
+	// Seed the cache with the mined patterns' own supports.
+	for _, p := range res.Patterns {
+		supCache[fmt.Sprint(p.Items)] = p.Support
+	}
+
+	var rules []Rule
+	for _, p := range res.Patterns {
+		if len(p.Items) < 2 {
+			continue
+		}
+		for i, c := range p.Items {
+			ante := make([]tsdb.ItemID, 0, len(p.Items)-1)
+			ante = append(ante, p.Items[:i]...)
+			ante = append(ante, p.Items[i+1:]...)
+			supA := supportOf(ante)
+			if supA == 0 {
+				continue
+			}
+			conf := float64(p.Support) / float64(supA)
+			if conf < o.MinConfidence {
+				continue
+			}
+			rules = append(rules, Rule{
+				Antecedent: ante,
+				Consequent: c,
+				Support:    p.Support,
+				Confidence: conf,
+				Recurrence: p.Recurrence,
+				Intervals:  p.Intervals,
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		a, b := rules[i], rules[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if len(a.Antecedent) != len(b.Antecedent) {
+			return len(a.Antecedent) < len(b.Antecedent)
+		}
+		for k := range a.Antecedent {
+			if a.Antecedent[k] != b.Antecedent[k] {
+				return a.Antecedent[k] < b.Antecedent[k]
+			}
+		}
+		return a.Consequent < b.Consequent
+	})
+	return rules, nil
+}
+
+// Recommender serves temporally aware recommendations from recurring rules:
+// a rule only fires when the query timestamp falls inside (or near) one of
+// the rule's interesting periodic intervals, so seasonal associations are
+// recommended in season.
+type Recommender struct {
+	db    *tsdb.DB
+	rules []Rule
+	// Slack widens the intervals when matching timestamps, so queries just
+	// before a season starts still see it.
+	Slack int64
+}
+
+// NewRecommender builds a recommender from mined rules.
+func NewRecommender(db *tsdb.DB, rules []Rule) *Recommender {
+	return &Recommender{db: db, rules: rules}
+}
+
+// Recommendation is a scored consequent item.
+type Recommendation struct {
+	Item       string
+	Confidence float64
+	Recurrence int
+}
+
+// Recommend returns the consequents of every rule whose antecedent is a
+// subset of the given basket and whose intervals contain ts (within Slack),
+// ranked by confidence. Each item is recommended at most once, at its best
+// confidence; items already in the basket are not recommended.
+func (r *Recommender) Recommend(basket []string, ts int64, limit int) []Recommendation {
+	have := make(map[tsdb.ItemID]bool, len(basket))
+	for _, name := range basket {
+		if id, ok := r.db.Dict.Lookup(name); ok {
+			have[id] = true
+		}
+	}
+	best := make(map[tsdb.ItemID]Rule)
+	for _, rule := range r.rules {
+		if have[rule.Consequent] {
+			continue
+		}
+		if !subset(rule.Antecedent, have) {
+			continue
+		}
+		if !r.inSeason(rule, ts) {
+			continue
+		}
+		if prev, ok := best[rule.Consequent]; !ok || rule.Confidence > prev.Confidence {
+			best[rule.Consequent] = rule
+		}
+	}
+	out := make([]Recommendation, 0, len(best))
+	for id, rule := range best {
+		out = append(out, Recommendation{
+			Item:       r.db.Dict.Name(id),
+			Confidence: rule.Confidence,
+			Recurrence: rule.Recurrence,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Item < out[j].Item
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func (r *Recommender) inSeason(rule Rule, ts int64) bool {
+	for _, iv := range rule.Intervals {
+		if ts >= iv.Start-r.Slack && ts <= iv.End+r.Slack {
+			return true
+		}
+	}
+	return false
+}
+
+func subset(items []tsdb.ItemID, have map[tsdb.ItemID]bool) bool {
+	for _, id := range items {
+		if !have[id] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package ext
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func TestMaximalAndClosedPaperExample(t *testing.T) {
+	// The running example's Table 2: {a,b} suppresses a (sup 8 != 7, so 'a'
+	// stays closed but not maximal) and b (sup 7 == 7: not even closed).
+	db := mustDB(t, "1\ta b g\n2\ta c d\n3\ta b e f\n4\ta b c d\n5\tc d e f g\n"+
+		"6\te f g\n7\ta b c g\n9\tc d\n10\tc d e f\n11\ta b e f\n12\ta b c d e f g\n14\ta b g\n")
+	res, err := core.Mine(db, core.Options{Per: 2, MinPS: 3, MinRec: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 8 {
+		t.Fatalf("expected Table 2's 8 patterns, got %d", len(res.Patterns))
+	}
+
+	max := Maximal(res)
+	// Maximal: {a,b}, {c,d}, {e,f} — every 1-pattern is inside one of them.
+	if len(max) != 3 {
+		t.Fatalf("maximal = %d patterns, want 3: %v", len(max), names(db, max))
+	}
+	for _, p := range max {
+		if len(p.Items) != 2 {
+			t.Errorf("maximal pattern %v has length %d", db.PatternNames(p.Items), len(p.Items))
+		}
+	}
+
+	closed := Closed(res)
+	// Closed: the three pairs plus 'a' (sup 8 > sup(ab) = 7). b, d, e, f all
+	// have the same support as their containing pair.
+	if len(closed) != 4 {
+		t.Fatalf("closed = %d patterns, want 4: %v", len(closed), names(db, closed))
+	}
+	foundA := false
+	for _, p := range closed {
+		if len(p.Items) == 1 && db.Dict.Name(p.Items[0]) == "a" {
+			foundA = true
+		}
+	}
+	if !foundA {
+		t.Error("'a' (sup 8) must stay closed")
+	}
+}
+
+func names(db *tsdb.DB, ps []core.Pattern) [][]string {
+	out := make([][]string, len(ps))
+	for i, p := range ps {
+		out[i] = db.PatternNames(p.Items)
+	}
+	return out
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 21))
+	for run := 0; run < 20; run++ {
+		db := randomDB(rng, rng.IntN(6)+2, rng.IntN(60)+20, 0.3+rng.Float64()*0.2)
+		if db.Len() == 0 {
+			continue
+		}
+		res, err := core.Mine(db, core.Options{
+			Per: rng.Int64N(4) + 1, MinPS: rng.IntN(3) + 1, MinRec: rng.IntN(2) + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := Maximal(res)
+		closed := Closed(res)
+		// Maximal subset-of closed subset-of all.
+		if len(max) > len(closed) || len(closed) > len(res.Patterns) {
+			t.Fatalf("size ordering violated: %d maximal, %d closed, %d all",
+				len(max), len(closed), len(res.Patterns))
+		}
+		inResult := map[string]bool{}
+		for _, p := range res.Patterns {
+			inResult[keyOf(p.Items)] = true
+		}
+		// No maximal pattern may have a proper superset in the result.
+		for _, m := range max {
+			for _, p := range res.Patterns {
+				if len(p.Items) > len(m.Items) && isSubset(m.Items, p.Items) {
+					t.Fatalf("maximal %v has superset %v", m.Items, p.Items)
+				}
+			}
+			if !inResult[keyOf(m.Items)] {
+				t.Fatalf("maximal %v not in the original result", m.Items)
+			}
+		}
+		// Every pattern must be recoverable from the closed set: it has a
+		// closed superset with the same support.
+		for _, p := range res.Patterns {
+			ok := false
+			for _, c := range closed {
+				if len(c.Items) >= len(p.Items) && isSubset(p.Items, c.Items) && c.Support == p.Support {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("pattern %v has no same-support closed superset", p.Items)
+			}
+		}
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	cases := []struct {
+		a, b []tsdb.ItemID
+		want bool
+	}{
+		{nil, nil, true},
+		{[]tsdb.ItemID{1}, []tsdb.ItemID{1}, true},
+		{[]tsdb.ItemID{1}, []tsdb.ItemID{0, 1, 2}, true},
+		{[]tsdb.ItemID{0, 2}, []tsdb.ItemID{0, 1, 2}, true},
+		{[]tsdb.ItemID{0, 3}, []tsdb.ItemID{0, 1, 2}, false},
+		{[]tsdb.ItemID{1, 2}, []tsdb.ItemID{2}, false},
+	}
+	for _, c := range cases {
+		if got := isSubset(c.a, c.b); got != c.want {
+			t.Errorf("isSubset(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

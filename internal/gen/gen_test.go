@@ -1,0 +1,321 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func TestPoisson(t *testing.T) {
+	rng := newRNG(1)
+	for _, lambda := range []float64{0, 0.5, 3, 10, 50} {
+		sum := 0.0
+		n := 20000
+		for i := 0; i < n; i++ {
+			v := poisson(rng, lambda)
+			if v < 0 {
+				t.Fatalf("poisson(%f) returned %d", lambda, v)
+			}
+			sum += float64(v)
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-lambda) > 0.15*lambda+0.05 {
+			t.Errorf("poisson(%f) mean = %f", lambda, mean)
+		}
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := zipfWeights(100, 1.1, 2)
+	total := 0.0
+	for i, v := range w {
+		if v <= 0 {
+			t.Fatalf("weight %d not positive", i)
+		}
+		if i > 0 && w[i-1] < v {
+			t.Fatalf("weights not decreasing at %d", i)
+		}
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("weights sum to %f", total)
+	}
+}
+
+func TestPicker(t *testing.T) {
+	w := []float64{0.5, 0.3, 0.2}
+	p := newPicker(w)
+	rng := rand.New(rand.NewPCG(7, 7))
+	counts := make([]int, 3)
+	n := 30000
+	for i := 0; i < n; i++ {
+		idx := p.pick(rng)
+		if idx < 0 || idx >= 3 {
+			t.Fatalf("pick out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	for i, want := range w {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("index %d frequency %f, want %f", i, got, want)
+		}
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	for m := 0; m < 1440; m++ {
+		v := diurnal(m)
+		if v <= 0 || v > 1 {
+			t.Fatalf("diurnal(%d) = %f out of (0,1]", m, v)
+		}
+	}
+	if diurnal(4*60) >= diurnal(13*60) {
+		t.Error("04:00 should be quieter than 13:00")
+	}
+	if diurnal(21*60) <= diurnal(4*60) {
+		t.Error("21:00 should be busier than 04:00")
+	}
+}
+
+func validDB(t *testing.T, db *tsdb.DB, name string) tsdb.Stats {
+	t.Helper()
+	if err := db.Validate(); err != nil {
+		t.Fatalf("%s: invalid DB: %v", name, err)
+	}
+	return tsdb.ComputeStats(db)
+}
+
+func TestQuestShape(t *testing.T) {
+	c := DefaultQuest(42).Scale(0.05) // 5k transactions
+	db := Quest(c)
+	s := validDB(t, db, "quest")
+	if s.Transactions != c.D {
+		t.Errorf("transactions = %d, want %d", s.Transactions, c.D)
+	}
+	if s.AvgTxLen < 6 || s.AvgTxLen > 15 {
+		t.Errorf("avg transaction length = %f, want near 10", s.AvgTxLen)
+	}
+	if s.DistinctItems < c.N/2 {
+		t.Errorf("distinct items = %d, want most of %d", s.DistinctItems, c.N)
+	}
+	// Timestamps are the transaction index: dense 1..D.
+	if s.FirstTS != 1 || s.LastTS != int64(c.D) {
+		t.Errorf("span = [%d,%d], want [1,%d]", s.FirstTS, s.LastTS, c.D)
+	}
+}
+
+func TestQuestDeterminism(t *testing.T) {
+	a := Quest(DefaultQuest(7).Scale(0.01))
+	b := Quest(DefaultQuest(7).Scale(0.01))
+	if a.Len() != b.Len() {
+		t.Fatal("same seed produced different transaction counts")
+	}
+	for i := range a.Trans {
+		if a.Trans[i].TS != b.Trans[i].TS || len(a.Trans[i].Items) != len(b.Trans[i].Items) {
+			t.Fatalf("same seed diverged at transaction %d", i)
+		}
+		for j := range a.Trans[i].Items {
+			if a.Trans[i].Items[j] != b.Trans[i].Items[j] {
+				t.Fatalf("same seed diverged at transaction %d item %d", i, j)
+			}
+		}
+	}
+	c := Quest(DefaultQuest(8).Scale(0.01))
+	same := a.Len() == c.Len()
+	if same {
+		diff := false
+		for i := range a.Trans {
+			if len(a.Trans[i].Items) != len(c.Trans[i].Items) {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestShopShape(t *testing.T) {
+	c := DefaultShop(42).Scale(0.15) // ~6 days
+	db := Shop(c)
+	s := validDB(t, db, "shop")
+	maxTS := int64(c.Days * c.MinutesPerDay)
+	if s.LastTS > maxTS {
+		t.Errorf("last ts %d beyond horizon %d", s.LastTS, maxTS)
+	}
+	// Nearly every minute should have at least one visit.
+	if float64(s.Transactions) < 0.75*float64(maxTS) {
+		t.Errorf("only %d of %d minutes busy", s.Transactions, maxTS)
+	}
+	if s.DistinctItems < 60 {
+		t.Errorf("distinct categories = %d, want most of %d", s.DistinctItems, c.Categories)
+	}
+}
+
+func TestShopHasRecurringPromotions(t *testing.T) {
+	c := DefaultShop(3)
+	c.Days = 14
+	db := Shop(c)
+	// With a 6-hour period and a modest periodic support, promotions should
+	// surface as recurring patterns of length >= 2.
+	res, err := core.Mine(db, core.Options{Per: 360, MinPS: core.MinPSFromPercent(db, 0.5), MinRec: 1, MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, p := range res.Patterns {
+		if p.Len() >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-category recurring patterns found in shop data")
+	}
+}
+
+func TestTwitterShape(t *testing.T) {
+	c := DefaultTwitter(42).Scale(0.08) // ~9 days
+	db, events := TwitterWithEvents(c)
+	s := validDB(t, db, "twitter")
+	maxTS := int64(c.Days * c.MinutesPerDay)
+	if float64(s.Transactions) < 0.8*float64(maxTS) {
+		t.Errorf("only %d of %d minutes busy", s.Transactions, maxTS)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events planted")
+	}
+	for _, e := range events {
+		for _, w := range e.Windows {
+			if w.End > c.Days {
+				t.Errorf("event %v window %v beyond scaled horizon", e.Tags, w)
+			}
+		}
+	}
+}
+
+func TestTwitterEventTagsBurstInWindows(t *testing.T) {
+	c := DefaultTwitter(5)
+	c.Days = 30 // covers nuclear window 1 (days 5-23) and pakvotes (8-14)
+	c.SyntheticEvents = 0
+	db, _ := TwitterWithEvents(c)
+	daily := db.DailyFrequency("pakvotes", int64(c.MinutesPerDay))
+	if daily == nil {
+		t.Fatal("pakvotes never occurs")
+	}
+	inWindow, outWindow := 0, 0
+	for day, n := range daily {
+		if day >= 8 && day < 14 {
+			inWindow += n
+		} else {
+			outWindow += n
+		}
+	}
+	if inWindow < 10*outWindow {
+		t.Errorf("pakvotes not bursty: %d in window vs %d outside", inWindow, outWindow)
+	}
+}
+
+func TestTwitterNamedEventsRecoverable(t *testing.T) {
+	// The headline qualitative claim (Table 6): the miner rediscovers a
+	// planted multi-tag event, with its interesting periodic interval
+	// inside the planted window.
+	c := DefaultTwitter(11)
+	c.Days = 30
+	c.SyntheticEvents = 0
+	db, _ := TwitterWithEvents(c)
+	minPS := core.MinPSFromPercent(db, 2)
+	res, err := core.Mine(db, core.Options{Per: 360, MinPS: minPS, MinRec: 1, MaxLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.InternPattern([]string{"pakvotes", "nayapakistan"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res.Patterns {
+		if len(p.Items) == 2 && p.Items[0] == want[0] && p.Items[1] == want[1] {
+			found = true
+			for _, iv := range p.Intervals {
+				startDay := (iv.Start - 1) / int64(c.MinutesPerDay)
+				endDay := (iv.End - 1) / int64(c.MinutesPerDay)
+				if startDay < 7 || endDay > 14 {
+					t.Errorf("interval [%d,%d] (days %d-%d) outside planted window 8-14",
+						iv.Start, iv.End, startDay, endDay)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("{pakvotes,nayapakistan} not rediscovered among %d patterns", len(res.Patterns))
+	}
+}
+
+func TestTwitterDayOnlyEventsQuietOvernight(t *testing.T) {
+	c := DefaultTwitter(21).Scale(0.15) // ~18 days
+	db, events := TwitterWithEvents(c)
+	checked := 0
+	for _, e := range events {
+		if !e.DayOnly {
+			continue
+		}
+		id, ok := db.Dict.Lookup(e.Tags[0])
+		if !ok {
+			continue
+		}
+		night, day := 0, 0
+		for _, tr := range db.Trans {
+			m := int((tr.TS - 1) % 1440)
+			for _, it := range tr.Items {
+				if it != id {
+					continue
+				}
+				if m < 450 {
+					night++
+				} else {
+					day++
+				}
+			}
+		}
+		if day == 0 {
+			continue // window may fall outside the scaled horizon
+		}
+		checked++
+		// Only the sporadic background path can fire at night; it is two
+		// orders of magnitude rarer than in-window day activity.
+		if night*20 > day {
+			t.Errorf("day-only tag %s: %d night vs %d day occurrences", e.Tags[0], night, day)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no day-only events with in-horizon activity")
+	}
+}
+
+func TestTwitterDayOnlyDrivesPerAxis(t *testing.T) {
+	// The mechanism behind the paper's per-axis trend: a day-only event's
+	// window fragments into sub-minPS daily intervals at per=360 but
+	// coalesces at per=1440. Count recurring patterns at both settings.
+	c := DefaultTwitter(22)
+	c.Days = 24
+	db, _ := TwitterWithEvents(c)
+	minPS := core.MinPSFromPercent(db, 6)
+	small, err := core.Mine(db, core.Options{Per: 360, MinPS: minPS, MinRec: 1, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := core.Mine(db, core.Options{Per: 1440, MinPS: minPS, MinRec: 1, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(large.Patterns) <= len(small.Patterns) {
+		t.Errorf("per=1440 found %d patterns, per=360 found %d; expected growth",
+			len(large.Patterns), len(small.Patterns))
+	}
+}

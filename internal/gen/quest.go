@@ -1,0 +1,160 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// QuestConfig parameterizes the IBM Quest-style synthetic transaction
+// generator of Agrawal and Srikant (SIGMOD 1993 / VLDB 1994), the process
+// behind T10I4D100K. Field names follow the original: D transactions of
+// average size T, built from L potentially frequent itemsets of average
+// size I over N items.
+type QuestConfig struct {
+	Seed uint64
+
+	D int // number of transactions (default 100,000)
+	T int // average transaction size (default 10)
+	I int // average size of potentially frequent itemsets (default 4)
+	L int // number of potentially frequent itemsets (default 2,000)
+	N int // number of items (default 941, the paper's distinct-item count)
+
+	// Correlation is the mean fraction of items a potential itemset reuses
+	// from its predecessor (default 0.5).
+	Correlation float64
+	// CorruptionMean/SD parameterize the per-itemset corruption level that
+	// drops items when itemsets are inserted into transactions (defaults
+	// 0.5 / 0.1).
+	CorruptionMean, CorruptionSD float64
+}
+
+// DefaultQuest returns the T10I4D100K parameters used in the paper.
+func DefaultQuest(seed uint64) QuestConfig {
+	return QuestConfig{
+		Seed:           seed,
+		D:              100_000,
+		T:              10,
+		I:              4,
+		L:              2_000,
+		N:              941,
+		Correlation:    0.5,
+		CorruptionMean: 0.5,
+		CorruptionSD:   0.1,
+	}
+}
+
+// Scale returns a copy with the transaction count scaled by f (at least 1),
+// for reduced test and benchmark instances drawn from the same
+// distribution.
+func (c QuestConfig) Scale(f float64) QuestConfig {
+	c.D = int(float64(c.D) * f)
+	if c.D < 1 {
+		c.D = 1
+	}
+	return c
+}
+
+// Quest generates the synthetic transactional database. Transaction i is
+// assigned timestamp i (1-based), making the sequence a time-based series
+// with unit spacing, exactly how the paper treats T10I4D100K (per values of
+// 360/720/1440 timestamp units, Table 4).
+func Quest(c QuestConfig) *tsdb.DB {
+	rng := newRNG(c.Seed)
+
+	// Item weights: exponentially distributed popularity, as in the
+	// original generator.
+	itemW := make([]float64, c.N)
+	for i := range itemW {
+		itemW[i] = rng.ExpFloat64()
+	}
+	itemPick := newPicker(itemW)
+
+	// Potential frequent itemsets: sizes Poisson(I-1)+1; a fraction of each
+	// itemset (exponential with the correlation mean, clamped) is drawn
+	// from the previous itemset, the rest picked by item weight.
+	itemsets := make([][]tsdb.ItemID, c.L)
+	var prev []tsdb.ItemID
+	for s := range itemsets {
+		size := poisson(rng, float64(c.I-1)) + 1
+		set := make(map[tsdb.ItemID]struct{}, size)
+		if len(prev) > 0 {
+			frac := expVar(rng, c.Correlation)
+			if frac > 1 {
+				frac = 1
+			}
+			reuse := int(frac * float64(size))
+			for k := 0; k < reuse && k < len(prev); k++ {
+				set[prev[rng.IntN(len(prev))]] = struct{}{}
+			}
+		}
+		for len(set) < size {
+			set[tsdb.ItemID(itemPick.pick(rng))] = struct{}{}
+		}
+		items := make([]tsdb.ItemID, 0, len(set))
+		for id := range set {
+			items = append(items, id)
+		}
+		// Sort so later rng draws consume in a deterministic order; map
+		// iteration order would otherwise make same-seed runs diverge.
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		itemsets[s] = items
+		prev = items
+	}
+
+	// Itemset weights (exponential) and per-itemset corruption levels
+	// (normal around CorruptionMean).
+	setW := make([]float64, c.L)
+	for i := range setW {
+		setW[i] = rng.ExpFloat64()
+	}
+	setPick := newPicker(setW)
+	corrupt := make([]float64, c.L)
+	for i := range corrupt {
+		v := c.CorruptionMean + c.CorruptionSD*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		corrupt[i] = v
+	}
+
+	b := tsdb.NewBuilder()
+	for i := 0; i < c.N; i++ {
+		b.Dict().Intern(fmt.Sprintf("i%d", i))
+	}
+	scratch := make(map[tsdb.ItemID]struct{}, 4*c.T)
+	ids := make([]tsdb.ItemID, 0, 4*c.T)
+	for tr := 1; tr <= c.D; tr++ {
+		size := poisson(rng, float64(c.T-1)) + 1
+		clear(scratch)
+		for len(scratch) < size {
+			s := setPick.pick(rng)
+			cl := corrupt[s]
+			added := false
+			for _, id := range itemsets[s] {
+				// Drop each item with probability equal to the corruption
+				// level; this is the original generator's per-itemset decay.
+				if rng.Float64() < cl {
+					continue
+				}
+				scratch[id] = struct{}{}
+				added = true
+			}
+			if !added {
+				// Fully corrupted pick: add one weighted random item so the
+				// loop always progresses.
+				scratch[tsdb.ItemID(itemPick.pick(rng))] = struct{}{}
+			}
+		}
+		ids = ids[:0]
+		for id := range scratch {
+			ids = append(ids, id)
+		}
+		b.AddIDs(int64(tr), ids...)
+	}
+	return b.Build()
+}

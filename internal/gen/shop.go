@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"fmt"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// ShopConfig parameterizes the Shop-14 clickstream simulator. The original
+// dataset (ECML/PKDD 2005 discovery challenge, store www.shop4.cz) is a
+// minute-granularity log of product-category page visits: 59,240
+// transactions over 41 days covering 138 categories. The simulator
+// reproduces that shape with a heavy-tailed category popularity, a diurnal
+// visit cycle, a weekly rhythm, and seasonal category-group promotions that
+// induce the recurring co-visit patterns the paper mines.
+type ShopConfig struct {
+	Seed uint64
+
+	Days          int // default 41
+	MinutesPerDay int // default 1440
+	Categories    int // default 138
+
+	// PeakRate is the expected number of distinct background categories
+	// visited during a peak-hour minute.
+	PeakRate float64
+
+	// Promotions is the number of correlated category groups that burst
+	// together during promotion windows.
+	Promotions int
+}
+
+// DefaultShop returns the Shop-14-shaped configuration.
+func DefaultShop(seed uint64) ShopConfig {
+	return ShopConfig{
+		Seed:          seed,
+		Days:          41,
+		MinutesPerDay: 1440,
+		Categories:    138,
+		PeakRate:      7,
+		Promotions:    14,
+	}
+}
+
+// Scale returns a copy with the day count scaled by f (at least 1 day).
+func (c ShopConfig) Scale(f float64) ShopConfig {
+	c.Days = int(float64(c.Days) * f)
+	if c.Days < 1 {
+		c.Days = 1
+	}
+	return c
+}
+
+// Shop generates the clickstream database. Timestamps are minute indices
+// starting at 1; minutes with no visits produce no transaction, mirroring
+// how the paper's database skips empty timestamps.
+func Shop(c ShopConfig) *tsdb.DB {
+	rng := newRNG(c.Seed)
+	weights := zipfWeights(c.Categories, 1.05, 4)
+	catPick := newPicker(weights)
+
+	// Promotion groups: 2-4 mid-tail categories each, bursting together in
+	// 2-3 windows of 2-6 days. Mid-tail categories make the groups visible
+	// against the frequent head without being drowned out.
+	type window struct{ startDay, endDay int }
+	type promo struct {
+		cats    []tsdb.ItemID
+		windows []window
+		rate    float64 // per-minute probability at diurnal peak
+	}
+	promos := make([]promo, c.Promotions)
+	for i := range promos {
+		size := rng.IntN(3) + 2
+		cats := make([]tsdb.ItemID, 0, size)
+		seen := map[int]bool{}
+		for len(cats) < size {
+			// Mid-tail: skip the ~15 most popular categories.
+			cat := 15 + rng.IntN(c.Categories-15)
+			if seen[cat] {
+				continue
+			}
+			seen[cat] = true
+			cats = append(cats, tsdb.ItemID(cat))
+		}
+		nw := rng.IntN(2) + 2
+		windows := make([]window, 0, nw)
+		for w := 0; w < nw; w++ {
+			span := rng.IntN(5) + 2
+			if span > c.Days {
+				span = c.Days
+			}
+			start := rng.IntN(c.Days - span + 1)
+			windows = append(windows, window{startDay: start, endDay: start + span})
+		}
+		promos[i] = promo{cats: cats, windows: windows, rate: 0.35 + 0.4*rng.Float64()}
+	}
+
+	b := tsdb.NewBuilder()
+	for i := 0; i < c.Categories; i++ {
+		b.Dict().Intern(fmt.Sprintf("cat%d", i))
+	}
+
+	scratch := make(map[tsdb.ItemID]struct{}, 32)
+	ids := make([]tsdb.ItemID, 0, 32)
+	for day := 0; day < c.Days; day++ {
+		// Weekly rhythm: weekends (days 5 and 6 of each week) run hotter.
+		weekFactor := 1.0
+		if d := day % 7; d == 5 || d == 6 {
+			weekFactor = 1.35
+		}
+		for m := 0; m < c.MinutesPerDay; m++ {
+			ts := int64(day*c.MinutesPerDay+m) + 1
+			clear(scratch)
+			lambda := c.PeakRate * diurnal(m) * weekFactor
+			k := poisson(rng, lambda)
+			for j := 0; j < k; j++ {
+				scratch[tsdb.ItemID(catPick.pick(rng))] = struct{}{}
+			}
+			act := diurnal(m)
+			for _, p := range promos {
+				active := false
+				for _, w := range p.windows {
+					if day >= w.startDay && day < w.endDay {
+						active = true
+						break
+					}
+				}
+				if active && rng.Float64() < p.rate*act {
+					for _, cat := range p.cats {
+						scratch[cat] = struct{}{}
+					}
+				}
+			}
+			if len(scratch) == 0 {
+				continue
+			}
+			ids = ids[:0]
+			for id := range scratch {
+				ids = append(ids, id)
+			}
+			b.AddIDs(ts, ids...)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,255 @@
+package gen
+
+import (
+	"fmt"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// TwitterConfig parameterizes the hashtag-stream simulator standing in for
+// the paper's private Twitter collection: the top 1000 English hashtags of
+// 44M tweets between 1 May and 31 August 2013, aggregated per minute into
+// 177,120 transactions (123 days x 1440 minutes). The simulator reproduces
+// that shape: a heavy-tailed set of evergreen hashtags that co-occur
+// minute-to-minute (driving the p-pattern explosion of Table 8), plus
+// burst events — named after the real incidents of Table 6 and Figure 8 —
+// during which otherwise-rare hashtags appear densely for days at a time,
+// sometimes in several separate windows (driving recurrence).
+type TwitterConfig struct {
+	Seed uint64
+
+	Days          int // default 123 (1 May - 31 Aug 2013)
+	MinutesPerDay int // default 1440
+	Tags          int // default 1000
+
+	// PeakRate is the expected number of distinct background hashtags in a
+	// peak-hour minute's transaction.
+	PeakRate float64
+
+	// SyntheticEvents is the number of random burst events planted in
+	// addition to the named Table 6 events.
+	SyntheticEvents int
+}
+
+// DefaultTwitter returns the paper-shaped configuration.
+func DefaultTwitter(seed uint64) TwitterConfig {
+	return TwitterConfig{
+		Seed:            seed,
+		Days:            123,
+		MinutesPerDay:   1440,
+		Tags:            1000,
+		PeakRate:        64,
+		SyntheticEvents: 48,
+	}
+}
+
+// Scale returns a copy with the day count scaled by f (at least 1 day).
+func (c TwitterConfig) Scale(f float64) TwitterConfig {
+	c.Days = int(float64(c.Days) * f)
+	if c.Days < 1 {
+		c.Days = 1
+	}
+	return c
+}
+
+// DayRange is a half-open range of day offsets from the start of the
+// collection (day 0 = 1 May 2013).
+type DayRange struct{ Start, End int }
+
+// BurstEvent is a group of hashtags that appear together densely during one
+// or more day windows.
+type BurstEvent struct {
+	Tags    []string
+	Windows []DayRange
+	// Rate is the per-minute co-occurrence probability at the diurnal peak.
+	Rate float64
+	// DayOnly events go silent overnight (roughly 00:30-07:30). Their
+	// activity splits into per-day periodic intervals at a 6-hour period
+	// but coalesces at a 1-day period — the mechanism behind the paper's
+	// observation that larger per values surface more recurring patterns.
+	DayOnly bool
+}
+
+// NamedEvents returns the four real-world incidents of the paper's Table 6,
+// with day offsets from 1 May 2013:
+//
+//	{yyc, uttarakhand}                     21 Jun - 1 Jul (floods in Alberta and Uttarakhand)
+//	{nuclear, hibaku}                      6-24 May and 1-14 Jul (two nuclear news cycles)
+//	{pakvotes, nayapakistan}               9-15 May (Pakistani general election)
+//	{oklahoma, tornado, prayforoklahoma}   21-24 May (Oklahoma tornado)
+func NamedEvents() []BurstEvent {
+	return []BurstEvent{
+		{Tags: []string{"yyc", "uttarakhand"}, Windows: []DayRange{{51, 61}}, Rate: 0.55},
+		{Tags: []string{"nuclear", "hibaku"}, Windows: []DayRange{{5, 23}, {61, 74}}, Rate: 0.5},
+		{Tags: []string{"pakvotes", "nayapakistan"}, Windows: []DayRange{{8, 14}}, Rate: 0.6},
+		{Tags: []string{"oklahoma", "tornado", "prayforoklahoma"}, Windows: []DayRange{{20, 23}}, Rate: 0.6},
+	}
+}
+
+// Twitter generates the hashtag database. Timestamps are minute indices
+// starting at 1.
+func Twitter(c TwitterConfig) *tsdb.DB {
+	db, _ := TwitterWithEvents(c)
+	return db
+}
+
+// TwitterWithEvents additionally returns the planted events (named plus
+// synthetic) so experiments can check which were rediscovered.
+func TwitterWithEvents(c TwitterConfig) (*tsdb.DB, []BurstEvent) {
+	rng := newRNG(c.Seed)
+
+	events := NamedEvents()
+	// Drop named windows that fall outside a scaled-down collection.
+	events = clipEvents(events, c.Days)
+
+	// Synthetic burst events over reserved tail hashtags, so their tags are
+	// rare outside their windows (the rare-item regime of Section 5.2).
+	reserved := map[int]bool{}
+	for i := 0; i < c.SyntheticEvents; i++ {
+		size := rng.IntN(2) + 2
+		tags := make([]string, 0, size)
+		for len(tags) < size {
+			// Tail of the popularity ranking: ranks in the last 60%.
+			r := c.Tags*2/5 + rng.IntN(c.Tags*3/5)
+			if reserved[r] {
+				continue
+			}
+			reserved[r] = true
+			tags = append(tags, tagName(r))
+		}
+		nw := rng.IntN(3) + 2
+		// Every third event is a long "seasonal" burst (weeks-long windows)
+		// so that patterns with high periodic support and recurrence >= 2
+		// exist, as in the paper's Table 5 at large minPS. Half of the
+		// events are day-active only, so their windows fragment or coalesce
+		// depending on the period threshold.
+		long := i%3 == 0
+		windows := make([]DayRange, 0, nw)
+		for w := 0; w < nw; w++ {
+			span := rng.IntN(9) + 3
+			if long {
+				span = rng.IntN(21) + 15
+			}
+			if span > c.Days {
+				span = c.Days
+			}
+			start := rng.IntN(c.Days - span + 1)
+			windows = append(windows, DayRange{Start: start, End: start + span})
+		}
+		rate := 0.3 + 0.5*rng.Float64()
+		if long {
+			rate = 0.45 + 0.35*rng.Float64()
+		}
+		events = append(events, BurstEvent{
+			Tags:    tags,
+			Windows: windows,
+			Rate:    rate,
+			DayOnly: i%2 == 0,
+		})
+	}
+
+	// Background popularity: strongly skewed so the head co-occurs almost
+	// every minute while the tail is rare.
+	weights := zipfWeights(c.Tags, 1.15, 1.5)
+	// Zero out the weight of event-reserved tags and the named-event tags;
+	// they live almost exclusively inside their windows.
+	named := map[string]bool{}
+	for _, e := range events {
+		for _, tag := range e.Tags {
+			named[tag] = true
+		}
+	}
+	for r := range weights {
+		if reserved[r] {
+			weights[r] *= 0.02
+		}
+	}
+	tagPick := newPicker(weights)
+
+	b := tsdb.NewBuilder()
+	for i := 0; i < c.Tags; i++ {
+		b.Dict().Intern(tagName(i))
+	}
+	for _, e := range events {
+		for _, tag := range e.Tags {
+			b.Dict().Intern(tag) // named tags replace no rank; extra IDs
+		}
+	}
+
+	scratch := make(map[tsdb.ItemID]struct{}, 48)
+	ids := make([]tsdb.ItemID, 0, 48)
+	for day := 0; day < c.Days; day++ {
+		for m := 0; m < c.MinutesPerDay; m++ {
+			ts := int64(day*c.MinutesPerDay+m) + 1
+			clear(scratch)
+			act := diurnal(m)
+			k := poisson(rng, c.PeakRate*act)
+			for j := 0; j < k; j++ {
+				r := tagPick.pick(rng)
+				if named[tagName(r)] {
+					continue // event tags only appear via their events
+				}
+				scratch[tsdb.ItemID(r)] = struct{}{}
+			}
+			for _, e := range events {
+				active := false
+				for _, w := range e.Windows {
+					if day >= w.Start && day < w.End {
+						active = true
+						break
+					}
+				}
+				if !active {
+					// Sporadic background mentions of event tags.
+					if rng.Float64() < 0.002*act {
+						tag := e.Tags[rng.IntN(len(e.Tags))]
+						id, _ := b.Dict().Lookup(tag)
+						scratch[id] = struct{}{}
+					}
+					continue
+				}
+				night := m < 450 // 00:00-07:30
+				if e.DayOnly && night {
+					continue
+				}
+				if rng.Float64() < e.Rate*act {
+					for _, tag := range e.Tags {
+						id, _ := b.Dict().Lookup(tag)
+						scratch[id] = struct{}{}
+					}
+				}
+			}
+			if len(scratch) == 0 {
+				continue
+			}
+			ids = ids[:0]
+			for id := range scratch {
+				ids = append(ids, id)
+			}
+			b.AddIDs(ts, ids...)
+		}
+	}
+	return b.Build(), events
+}
+
+func clipEvents(events []BurstEvent, days int) []BurstEvent {
+	var out []BurstEvent
+	for _, e := range events {
+		var windows []DayRange
+		for _, w := range e.Windows {
+			if w.Start < days {
+				if w.End > days {
+					w.End = days
+				}
+				windows = append(windows, w)
+			}
+		}
+		if len(windows) > 0 {
+			e.Windows = windows
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func tagName(rank int) string { return fmt.Sprintf("tag%03d", rank) }

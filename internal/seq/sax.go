@@ -1,0 +1,101 @@
+package seq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// SAX (Symbolic Aggregate approXimation, Lin et al. 2003) is the standard
+// time-series discretization: the series is z-normalized, averaged over
+// fixed-length frames (PAA), and each frame mean is mapped to one of a
+// alphabet-size symbols using breakpoints that make the symbols
+// equiprobable under a standard normal distribution. Each frame becomes one
+// event "<name>:<symbol>" stamped at the frame's first timestamp, giving a
+// symbol stream the recurring pattern miner consumes directly.
+
+// SAXConfig parameterizes the transform.
+type SAXConfig struct {
+	// FrameLen is the number of samples averaged per frame (PAA window).
+	FrameLen int
+	// AlphabetSize is the number of symbols, 2..20.
+	AlphabetSize int
+}
+
+// gaussianBreakpoints returns the a-1 breakpoints dividing the standard
+// normal distribution into a equiprobable regions, computed by bisection on
+// the error-function CDF (no external tables).
+func gaussianBreakpoints(a int) []float64 {
+	bps := make([]float64, a-1)
+	for i := 1; i < a; i++ {
+		target := float64(i) / float64(a)
+		lo, hi := -8.0, 8.0
+		for iter := 0; iter < 80; iter++ {
+			mid := (lo + hi) / 2
+			if stdNormalCDF(mid) < target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		bps[i-1] = (lo + hi) / 2
+	}
+	return bps
+}
+
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// SAX discretizes the series. Frames are consecutive runs of FrameLen
+// samples (a trailing partial frame is dropped). The emitted event of frame
+// k is "<name>:sax<symbol>" at the timestamp of the frame's first sample.
+func SAX(s Series, c SAXConfig) (tsdb.EventSequence, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if c.FrameLen <= 0 {
+		return nil, fmt.Errorf("seq: FrameLen must be positive, got %d", c.FrameLen)
+	}
+	if c.AlphabetSize < 2 || c.AlphabetSize > 20 {
+		return nil, fmt.Errorf("seq: AlphabetSize must be in 2..20, got %d", c.AlphabetSize)
+	}
+	if len(s.Samples) < c.FrameLen {
+		return nil, nil
+	}
+
+	// Z-normalize.
+	mean, sd := 0.0, 0.0
+	for _, smp := range s.Samples {
+		mean += smp.Value
+	}
+	mean /= float64(len(s.Samples))
+	for _, smp := range s.Samples {
+		d := smp.Value - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(s.Samples)))
+	if sd == 0 {
+		sd = 1 // constant series: everything maps to the middle symbol
+	}
+
+	bps := gaussianBreakpoints(c.AlphabetSize)
+	frames := len(s.Samples) / c.FrameLen
+	events := make(tsdb.EventSequence, 0, frames)
+	for f := 0; f < frames; f++ {
+		start := f * c.FrameLen
+		sum := 0.0
+		for i := 0; i < c.FrameLen; i++ {
+			sum += s.Samples[start+i].Value
+		}
+		paa := (sum/float64(c.FrameLen) - mean) / sd
+		sym := sort.SearchFloat64s(bps, paa)
+		events = append(events, tsdb.Event{
+			Item: fmt.Sprintf("%s:sax%c", s.Name, 'a'+sym),
+			TS:   s.Samples[start].TS,
+		})
+	}
+	return events, nil
+}

@@ -1,0 +1,116 @@
+package seq
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestGaussianBreakpoints(t *testing.T) {
+	// The a=4 breakpoints are well known: -0.6745, 0, 0.6745.
+	bps := gaussianBreakpoints(4)
+	want := []float64{-0.6745, 0, 0.6745}
+	if len(bps) != 3 {
+		t.Fatalf("got %d breakpoints", len(bps))
+	}
+	for i := range want {
+		if math.Abs(bps[i]-want[i]) > 0.001 {
+			t.Errorf("bp[%d] = %f, want %f", i, bps[i], want[i])
+		}
+	}
+	// a=3: -0.4307, 0.4307.
+	bps = gaussianBreakpoints(3)
+	if math.Abs(bps[0]+0.4307) > 0.001 || math.Abs(bps[1]-0.4307) > 0.001 {
+		t.Errorf("a=3 breakpoints = %v", bps)
+	}
+}
+
+func TestSAXValidation(t *testing.T) {
+	s := mkSeries("x", 1, 2, 3, 4)
+	if _, err := SAX(s, SAXConfig{FrameLen: 0, AlphabetSize: 4}); err == nil {
+		t.Error("zero frame must fail")
+	}
+	if _, err := SAX(s, SAXConfig{FrameLen: 2, AlphabetSize: 1}); err == nil {
+		t.Error("alphabet 1 must fail")
+	}
+	if _, err := SAX(s, SAXConfig{FrameLen: 2, AlphabetSize: 21}); err == nil {
+		t.Error("alphabet 21 must fail")
+	}
+	if _, err := SAX(Series{}, SAXConfig{FrameLen: 2, AlphabetSize: 4}); err == nil {
+		t.Error("invalid series must fail")
+	}
+	// Shorter than one frame: no events, no error.
+	got, err := SAX(mkSeries("x", 1), SAXConfig{FrameLen: 2, AlphabetSize: 4})
+	if err != nil || got != nil {
+		t.Errorf("short series: %v %v", got, err)
+	}
+}
+
+func TestSAXEquiprobableSymbols(t *testing.T) {
+	// On Gaussian data, symbols must be roughly equiprobable.
+	rng := rand.New(rand.NewPCG(6, 6))
+	s := Series{Name: "g"}
+	for i := 0; i < 8000; i++ {
+		s.Samples = append(s.Samples, Sample{TS: int64(i + 1), Value: rng.NormFloat64()})
+	}
+	events, err := SAX(s, SAXConfig{FrameLen: 1, AlphabetSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Item]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("got %d symbols: %v", len(counts), counts)
+	}
+	for sym, c := range counts {
+		frac := float64(c) / float64(len(events))
+		if frac < 0.2 || frac > 0.3 {
+			t.Errorf("symbol %s frequency %.3f, want ~0.25", sym, frac)
+		}
+	}
+}
+
+func TestSAXFramesAndSymbols(t *testing.T) {
+	// Low half then high half: first frames get low symbols, last frames
+	// high ones.
+	s := Series{Name: "step"}
+	for i := 0; i < 40; i++ {
+		v := -1.0
+		if i >= 20 {
+			v = 1.0
+		}
+		s.Samples = append(s.Samples, Sample{TS: int64(i + 1), Value: v})
+	}
+	events, err := SAX(s, SAXConfig{FrameLen: 5, AlphabetSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 8 {
+		t.Fatalf("got %d frames, want 8", len(events))
+	}
+	if !strings.HasSuffix(events[0].Item, "saxa") {
+		t.Errorf("first frame = %q, want lowest symbol", events[0].Item)
+	}
+	if !strings.HasSuffix(events[7].Item, "saxd") {
+		t.Errorf("last frame = %q, want highest symbol", events[7].Item)
+	}
+	// Frame timestamps are the frames' first sample timestamps.
+	if events[0].TS != 1 || events[1].TS != 6 {
+		t.Errorf("frame timestamps: %d, %d", events[0].TS, events[1].TS)
+	}
+}
+
+func TestSAXConstantSeries(t *testing.T) {
+	events, err := SAX(mkSeries("c", 5, 5, 5, 5), SAXConfig{FrameLen: 2, AlphabetSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if !strings.HasSuffix(e.Item, "saxb") {
+			t.Errorf("constant series should map to the middle symbol, got %q", e.Item)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package seq turns real-valued time series into the symbolic event
+// sequences the recurring pattern miner consumes. The paper's model (like
+// most periodic pattern mining work) operates on categorical events; this
+// package provides the standard discretizations that bridge numeric data —
+// sensor readings, prices, request rates — into that form:
+//
+//   - level binning (equal-width or quantile bins): each sample becomes an
+//     event "<name>:<bin>" at its timestamp;
+//   - delta events: significant up/down moves become events
+//     "<name>:up" / "<name>:down";
+//   - threshold events: samples crossing a level become "<name>:high".
+//
+// All functions emit tsdb.Event values that can be mixed freely (several
+// series into one event stream) before building the transactional database.
+package seq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// Sample is one numeric observation of a series.
+type Sample struct {
+	TS    int64
+	Value float64
+}
+
+// Series is an ordered collection of samples. Functions in this package
+// require ascending timestamps (Validate checks).
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Validate reports the first structural problem: empty name, unordered
+// timestamps, or non-finite values.
+func (s Series) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("seq: series has no name")
+	}
+	for i, smp := range s.Samples {
+		if math.IsNaN(smp.Value) || math.IsInf(smp.Value, 0) {
+			return fmt.Errorf("seq: series %q: non-finite value at index %d", s.Name, i)
+		}
+		if i > 0 && s.Samples[i-1].TS >= smp.TS {
+			return fmt.Errorf("seq: series %q: timestamps not strictly increasing at index %d", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// EqualWidthBins discretizes the series into n equal-width level bins over
+// its observed [min, max] range, emitting one "<name>:bin<k>" event per
+// sample (k in 0..n-1). A constant series maps every sample to bin 0.
+func EqualWidthBins(s Series, n int) (tsdb.EventSequence, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("seq: bin count must be positive, got %d", n)
+	}
+	if len(s.Samples) == 0 {
+		return nil, nil
+	}
+	lo, hi := s.Samples[0].Value, s.Samples[0].Value
+	for _, smp := range s.Samples {
+		lo = math.Min(lo, smp.Value)
+		hi = math.Max(hi, smp.Value)
+	}
+	width := (hi - lo) / float64(n)
+	events := make(tsdb.EventSequence, 0, len(s.Samples))
+	for _, smp := range s.Samples {
+		bin := 0
+		if width > 0 {
+			bin = int((smp.Value - lo) / width)
+			if bin >= n {
+				bin = n - 1 // the maximum lands in the last bin
+			}
+		}
+		events = append(events, tsdb.Event{
+			Item: fmt.Sprintf("%s:bin%d", s.Name, bin),
+			TS:   smp.TS,
+		})
+	}
+	return events, nil
+}
+
+// QuantileBins discretizes the series into n equal-frequency bins: bin
+// boundaries are the empirical quantiles, so each bin holds roughly the
+// same number of samples regardless of the value distribution.
+func QuantileBins(s Series, n int) (tsdb.EventSequence, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("seq: bin count must be positive, got %d", n)
+	}
+	if len(s.Samples) == 0 {
+		return nil, nil
+	}
+	values := make([]float64, len(s.Samples))
+	for i, smp := range s.Samples {
+		values[i] = smp.Value
+	}
+	sort.Float64s(values)
+	// Upper boundary of bin k is the ((k+1)/n)-quantile.
+	bounds := make([]float64, n-1)
+	for k := 0; k < n-1; k++ {
+		idx := (k + 1) * len(values) / n
+		if idx >= len(values) {
+			idx = len(values) - 1
+		}
+		bounds[k] = values[idx]
+	}
+	events := make(tsdb.EventSequence, 0, len(s.Samples))
+	for _, smp := range s.Samples {
+		bin := sort.SearchFloat64s(bounds, smp.Value)
+		// SearchFloat64s returns the first boundary >= value; values equal
+		// to a boundary belong to the lower bin, matching half-open bins.
+		for bin > 0 && smp.Value < bounds[bin-1] {
+			bin--
+		}
+		events = append(events, tsdb.Event{
+			Item: fmt.Sprintf("%s:q%d", s.Name, bin),
+			TS:   smp.TS,
+		})
+	}
+	return events, nil
+}
+
+// DeltaEvents emits "<name>:up" / "<name>:down" events at samples whose
+// value moved by at least minMove relative to the previous sample. Flat
+// stretches emit nothing.
+func DeltaEvents(s Series, minMove float64) (tsdb.EventSequence, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if minMove < 0 {
+		return nil, fmt.Errorf("seq: minMove must be non-negative, got %f", minMove)
+	}
+	var events tsdb.EventSequence
+	for i := 1; i < len(s.Samples); i++ {
+		d := s.Samples[i].Value - s.Samples[i-1].Value
+		switch {
+		case d >= minMove && d != 0:
+			events = append(events, tsdb.Event{Item: s.Name + ":up", TS: s.Samples[i].TS})
+		case -d >= minMove && d != 0:
+			events = append(events, tsdb.Event{Item: s.Name + ":down", TS: s.Samples[i].TS})
+		}
+	}
+	return events, nil
+}
+
+// ThresholdEvents emits a "<name>:high" event at every sample at or above
+// the threshold — the paper's stock market motivation ("the set of high
+// stock indices that rise periodically for a particular time interval").
+func ThresholdEvents(s Series, threshold float64) (tsdb.EventSequence, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var events tsdb.EventSequence
+	for _, smp := range s.Samples {
+		if smp.Value >= threshold {
+			events = append(events, tsdb.Event{Item: s.Name + ":high", TS: smp.TS})
+		}
+	}
+	return events, nil
+}
+
+// Merge concatenates event sequences from several series and sorts the
+// result, ready for tsdb.FromEvents.
+func Merge(seqs ...tsdb.EventSequence) tsdb.EventSequence {
+	var all tsdb.EventSequence
+	for _, s := range seqs {
+		all = append(all, s...)
+	}
+	all.Sort()
+	return all
+}

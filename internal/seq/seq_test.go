@@ -1,0 +1,208 @@
+package seq
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func mkSeries(name string, values ...float64) Series {
+	s := Series{Name: name}
+	for i, v := range values {
+		s.Samples = append(s.Samples, Sample{TS: int64(i + 1), Value: v})
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Series{}).Validate(); err == nil {
+		t.Error("empty name must fail")
+	}
+	bad := mkSeries("x", 1, 2)
+	bad.Samples[1].TS = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate timestamps must fail")
+	}
+	nan := mkSeries("x", math.NaN())
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN must fail")
+	}
+	inf := mkSeries("x", math.Inf(1))
+	if err := inf.Validate(); err == nil {
+		t.Error("Inf must fail")
+	}
+	if err := mkSeries("x", 1, 2, 3).Validate(); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+}
+
+func TestEqualWidthBins(t *testing.T) {
+	s := mkSeries("temp", 0, 5, 10)
+	events, err := EqualWidthBins(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"temp:bin0", "temp:bin1", "temp:bin1"}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events", len(events))
+	}
+	for i, e := range events {
+		if e.Item != want[i] {
+			t.Errorf("event %d = %q, want %q", i, e.Item, want[i])
+		}
+	}
+	// Constant series: everything in bin 0.
+	events, err = EqualWidthBins(mkSeries("c", 7, 7, 7), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Item != "c:bin0" {
+			t.Errorf("constant series event %q", e.Item)
+		}
+	}
+	if _, err := EqualWidthBins(s, 0); err == nil {
+		t.Error("zero bins must fail")
+	}
+	if got, err := EqualWidthBins(Series{Name: "e"}, 3); err != nil || got != nil {
+		t.Errorf("empty series: %v %v", got, err)
+	}
+}
+
+func TestEqualWidthBinsRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	s := Series{Name: "r"}
+	for i := 0; i < 500; i++ {
+		s.Samples = append(s.Samples, Sample{TS: int64(i + 1), Value: rng.NormFloat64() * 10})
+	}
+	n := 8
+	events, err := EqualWidthBins(s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		var bin int
+		if _, err := fmt.Sscanf(e.Item, "r:bin%d", &bin); err != nil {
+			t.Fatalf("bad item %q", e.Item)
+		}
+		if bin < 0 || bin >= n {
+			t.Fatalf("bin %d out of range", bin)
+		}
+	}
+}
+
+func TestQuantileBinsBalanced(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	s := Series{Name: "q"}
+	for i := 0; i < 1000; i++ {
+		// Heavily skewed distribution: equal-width would lump almost
+		// everything into bin 0; quantile bins must stay balanced.
+		s.Samples = append(s.Samples, Sample{TS: int64(i + 1), Value: math.Exp(rng.NormFloat64() * 2)})
+	}
+	n := 4
+	events, err := QuantileBins(s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Item]++
+	}
+	if len(counts) != n {
+		t.Fatalf("got %d distinct bins, want %d: %v", len(counts), n, counts)
+	}
+	for item, c := range counts {
+		if c < len(s.Samples)/n/2 || c > len(s.Samples)*2/n {
+			t.Errorf("bin %s has %d samples, want near %d", item, c, len(s.Samples)/n)
+		}
+	}
+	if _, err := QuantileBins(s, 0); err == nil {
+		t.Error("zero bins must fail")
+	}
+}
+
+func TestDeltaEvents(t *testing.T) {
+	s := mkSeries("load", 1, 3, 3, 2, 10)
+	events, err := DeltaEvents(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tsdb.Event{
+		{Item: "load:up", TS: 2},
+		{Item: "load:down", TS: 4},
+		{Item: "load:up", TS: 5},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, events[i], want[i])
+		}
+	}
+	if _, err := DeltaEvents(s, -1); err == nil {
+		t.Error("negative minMove must fail")
+	}
+}
+
+func TestThresholdEvents(t *testing.T) {
+	s := mkSeries("price", 10, 90, 95, 40)
+	events, err := ThresholdEvents(s, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].TS != 2 || events[1].TS != 3 {
+		t.Fatalf("got %v", events)
+	}
+	if events[0].Item != "price:high" {
+		t.Errorf("item = %q", events[0].Item)
+	}
+}
+
+func TestMergeAndMine(t *testing.T) {
+	// End to end: two synthetic sensors whose "high" regimes coincide in
+	// two separate windows; mining the discretized stream finds the joint
+	// recurring pattern.
+	mk := func(name string) Series {
+		s := Series{Name: name}
+		for ts := int64(1); ts <= 200; ts++ {
+			v := 1.0
+			if (ts >= 30 && ts < 60) || (ts >= 130 && ts < 160) {
+				v = 100
+			}
+			s.Samples = append(s.Samples, Sample{TS: ts, Value: v})
+		}
+		return s
+	}
+	e1, err := ThresholdEvents(mk("cpu"), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ThresholdEvents(mk("mem"), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := tsdb.FromEvents(Merge(e1, e2))
+	res, err := core.Mine(db, core.Options{Per: 2, MinPS: 10, MinRec: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res.Patterns {
+		if len(p.Items) == 2 && p.Recurrence == 2 {
+			names := db.PatternNames(p.Items)
+			if strings.Contains(names[0]+names[1], "cpu:high") &&
+				strings.Contains(names[0]+names[1], "mem:high") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("joint high-regime pattern not found among %d patterns", len(res.Patterns))
+	}
+}

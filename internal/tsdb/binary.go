@@ -1,0 +1,192 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary format: a compact encoding for large databases. Layout:
+//
+//	magic "RPDB" | version uvarint | itemCount uvarint
+//	itemCount x (nameLen uvarint, name bytes)        -- dictionary, ID order
+//	txCount uvarint
+//	txCount x (tsDelta uvarint, itemCount uvarint,
+//	           itemCount x itemID-delta uvarint)     -- transactions in ts order
+//
+// Timestamps are delta-encoded against the previous transaction (first
+// against zero); item IDs are delta-encoded within each transaction (they
+// are sorted). The format typically takes a quarter of the text format's
+// space on the evaluation datasets.
+
+const (
+	binaryMagic   = "RPDB"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the database in the binary format.
+func WriteBinary(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(binaryVersion); err != nil {
+		return err
+	}
+	names := db.Dict.Names()
+	if err := writeUvarint(uint64(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := writeUvarint(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(len(db.Trans))); err != nil {
+		return err
+	}
+	prevTS := int64(0)
+	for _, tr := range db.Trans {
+		if tr.TS < prevTS {
+			return fmt.Errorf("tsdb: transactions out of order at ts %d", tr.TS)
+		}
+		if err := writeUvarint(uint64(tr.TS - prevTS)); err != nil {
+			return err
+		}
+		prevTS = tr.TS
+		if err := writeUvarint(uint64(len(tr.Items))); err != nil {
+			return err
+		}
+		prev := ItemID(0)
+		for i, id := range tr.Items {
+			delta := uint64(id - prev)
+			if i == 0 {
+				delta = uint64(id)
+			}
+			if err := writeUvarint(delta); err != nil {
+				return err
+			}
+			prev = id
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a database written by WriteBinary.
+func ReadBinary(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("tsdb: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, errors.New("tsdb: not a binary database (bad magic)")
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: reading version: %w", err)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("tsdb: unsupported binary version %d", version)
+	}
+	itemCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: reading item count: %w", err)
+	}
+	const maxItems = 1 << 28
+	if itemCount > maxItems {
+		return nil, fmt.Errorf("tsdb: implausible item count %d", itemCount)
+	}
+	dict := NewDictionary()
+	nameBuf := make([]byte, 0, 64)
+	for i := uint64(0); i < itemCount; i++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: reading name length: %w", err)
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("tsdb: implausible name length %d", n)
+		}
+		if uint64(cap(nameBuf)) < n {
+			nameBuf = make([]byte, n)
+		}
+		nameBuf = nameBuf[:n]
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, fmt.Errorf("tsdb: reading name: %w", err)
+		}
+		name := string(nameBuf)
+		if id := dict.Intern(name); id != ItemID(i) {
+			return nil, fmt.Errorf("tsdb: duplicate item name %q", name)
+		}
+	}
+	txCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: reading transaction count: %w", err)
+	}
+	db := &DB{Dict: dict}
+	prevTS := int64(0)
+	for t := uint64(0); t < txCount; t++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: transaction %d: reading ts: %w", t, err)
+		}
+		ts := prevTS + int64(delta)
+		if t > 0 && delta == 0 {
+			return nil, fmt.Errorf("tsdb: transaction %d: duplicate timestamp %d", t, ts)
+		}
+		prevTS = ts
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: transaction %d: reading size: %w", t, err)
+		}
+		if n == 0 || n > itemCount {
+			return nil, fmt.Errorf("tsdb: transaction %d: bad size %d", t, n)
+		}
+		items := make([]ItemID, n)
+		prev := uint64(0)
+		for i := range items {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: transaction %d: reading item: %w", t, err)
+			}
+			var id uint64
+			if i == 0 {
+				id = d
+			} else {
+				if d == 0 {
+					return nil, fmt.Errorf("tsdb: transaction %d: duplicate item", t)
+				}
+				id = prev + d
+			}
+			if id >= itemCount {
+				return nil, fmt.Errorf("tsdb: transaction %d: item %d out of range", t, id)
+			}
+			items[i] = ItemID(id)
+			prev = id
+		}
+		db.Trans = append(db.Trans, Transaction{TS: ts, Items: items})
+	}
+	return db, nil
+}
+
+// ReadAny detects the on-disk format (binary or text) by peeking at the
+// magic bytes and parses accordingly.
+func ReadAny(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(binaryMagic))
+	if err == nil && string(magic) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}

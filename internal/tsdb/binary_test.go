@@ -1,0 +1,144 @@
+package tsdb
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func randomBinDB(rng *rand.Rand) *DB {
+	b := NewBuilder()
+	nItems := rng.IntN(20) + 1
+	ts := int64(0)
+	for t := 0; t < rng.IntN(100); t++ {
+		ts += rng.Int64N(50) + 1
+		added := false
+		for i := 0; i < nItems; i++ {
+			if rng.Float64() < 0.3 {
+				b.Add(string(rune('A'+i)), ts)
+				added = true
+			}
+		}
+		if !added {
+			b.Add("A", ts)
+		}
+	}
+	return b.Build()
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for run := 0; run < 50; run++ {
+		db := randomBinDB(rng)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, db); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("round trip produced invalid DB: %v", err)
+		}
+		if got.Len() != db.Len() {
+			t.Fatalf("length changed: %d -> %d", db.Len(), got.Len())
+		}
+		for i := range db.Trans {
+			if db.Trans[i].TS != got.Trans[i].TS {
+				t.Fatalf("ts changed at %d", i)
+			}
+			a := db.PatternNames(db.Trans[i].Items)
+			b := got.PatternNames(got.Trans[i].Items)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("items changed at ts %d: %v vs %v", db.Trans[i].TS, a, b)
+			}
+		}
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	b := NewBuilder()
+	for ts := int64(1); ts <= 2000; ts++ {
+		for i := 0; i < 30; i++ {
+			if rng.Float64() < 0.2 {
+				b.Add("category-with-a-long-name-"+string(rune('a'+i)), ts)
+			}
+		}
+	}
+	db := b.Build()
+	var text, bin bytes.Buffer
+	if err := Write(&text, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, db); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len()/2 {
+		t.Errorf("binary %d bytes vs text %d: expected at least 2x smaller", bin.Len(), text.Len())
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	db := randomBinDB(rand.New(rand.NewPCG(9, 9)))
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      []byte("NOPE1234"),
+		"truncated 8":    full[:min(8, len(full))],
+		"truncated half": full[:len(full)/2],
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadBinary accepted corrupt input", name)
+		}
+	}
+	// Flip dictionary bytes so two names collide.
+	if _, err := ReadBinary(strings.NewReader("RPDB\x01\x02\x01a\x01a\x00")); err == nil {
+		t.Error("duplicate names must be rejected")
+	}
+}
+
+func TestBinaryEmptyDB(t *testing.T) {
+	db := &DB{Dict: NewDictionary()}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Dict.Len() != 0 {
+		t.Errorf("empty round trip: %d trans, %d items", got.Len(), got.Dict.Len())
+	}
+}
+
+func TestReadAnyDetectsFormat(t *testing.T) {
+	db := randomBinDB(rand.New(rand.NewPCG(11, 11)))
+	var text, bin bytes.Buffer
+	if err := Write(&text, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, db); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := ReadAny(&text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadAny(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromText.Len() != db.Len() || fromBin.Len() != db.Len() {
+		t.Errorf("lengths: text %d, bin %d, want %d", fromText.Len(), fromBin.Len(), db.Len())
+	}
+}

@@ -1,0 +1,196 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Transaction is one row of a temporally ordered transactional database: the
+// set of items observed at a particular timestamp. Items are sorted and
+// duplicate-free.
+type Transaction struct {
+	TS    int64
+	Items []ItemID
+}
+
+// Contains reports whether the transaction contains every item of pattern.
+// Both the transaction items and pattern must be sorted ascending.
+func (t Transaction) Contains(pattern []ItemID) bool {
+	items := t.Items
+	for _, p := range pattern {
+		i := sort.Search(len(items), func(k int) bool { return items[k] >= p })
+		if i == len(items) || items[i] != p {
+			return false
+		}
+		items = items[i+1:]
+	}
+	return true
+}
+
+// DB is a transactional database constructed from a time series. Transactions
+// are strictly ordered by timestamp and each timestamp appears at most once
+// (paper Section 3: transactions are uniquely identifiable by timestamp).
+type DB struct {
+	Dict  *Dictionary
+	Trans []Transaction
+}
+
+// Builder accumulates events and produces a DB. It implements the
+// "linked hash table" construction sketched at the end of Section 3 of the
+// paper: items are grouped by their occurrence timestamp.
+type Builder struct {
+	dict   *Dictionary
+	groups map[int64]map[ItemID]struct{}
+}
+
+// NewBuilder returns a Builder using a fresh dictionary.
+func NewBuilder() *Builder {
+	return &Builder{
+		dict:   NewDictionary(),
+		groups: make(map[int64]map[ItemID]struct{}),
+	}
+}
+
+// Add records that item occurred at ts. Duplicate (item, ts) pairs collapse
+// into a single occurrence, matching the set semantics of transactions.
+func (b *Builder) Add(item string, ts int64) {
+	id := b.dict.Intern(item)
+	g, ok := b.groups[ts]
+	if !ok {
+		g = make(map[ItemID]struct{})
+		b.groups[ts] = g
+	}
+	g[id] = struct{}{}
+}
+
+// AddIDs records that the (already interned) items occurred at ts.
+func (b *Builder) AddIDs(ts int64, items ...ItemID) {
+	g, ok := b.groups[ts]
+	if !ok {
+		g = make(map[ItemID]struct{})
+		b.groups[ts] = g
+	}
+	for _, id := range items {
+		g[id] = struct{}{}
+	}
+}
+
+// Dict exposes the builder's dictionary so callers can intern items up front.
+func (b *Builder) Dict() *Dictionary { return b.dict }
+
+// Build produces the temporally ordered transactional database. The builder
+// may continue to be used afterwards; subsequent Build calls include all
+// events added so far.
+func (b *Builder) Build() *DB {
+	trans := make([]Transaction, 0, len(b.groups))
+	for ts, g := range b.groups {
+		items := make([]ItemID, 0, len(g))
+		for id := range g {
+			items = append(items, id)
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		trans = append(trans, Transaction{TS: ts, Items: items})
+	}
+	sort.Slice(trans, func(i, j int) bool { return trans[i].TS < trans[j].TS })
+	return &DB{Dict: b.dict, Trans: trans}
+}
+
+// FromEvents builds a DB directly from an event sequence.
+func FromEvents(events EventSequence) *DB {
+	b := NewBuilder()
+	for _, e := range events {
+		b.Add(e.Item, e.TS)
+	}
+	return b.Build()
+}
+
+// Len reports the number of transactions, |TDB|.
+func (db *DB) Len() int { return len(db.Trans) }
+
+// Span returns the smallest and largest transaction timestamps. It returns
+// (0, 0) for an empty database.
+func (db *DB) Span() (first, last int64) {
+	if len(db.Trans) == 0 {
+		return 0, 0
+	}
+	return db.Trans[0].TS, db.Trans[len(db.Trans)-1].TS
+}
+
+// TSList returns the ordered set of timestamps at which every item of
+// pattern occurs together, i.e. TS^X from paper Definition 2/Example 2.
+// The pattern must be sorted ascending. This is the reference (scan-based)
+// implementation used by tests and small tools; miners use their own
+// incremental representations.
+func (db *DB) TSList(pattern []ItemID) []int64 {
+	var ts []int64
+	for _, tr := range db.Trans {
+		if tr.Contains(pattern) {
+			ts = append(ts, tr.TS)
+		}
+	}
+	return ts
+}
+
+// ItemTSLists returns, for every item, its ordered occurrence timestamps.
+// The result is indexed by ItemID.
+func (db *DB) ItemTSLists() [][]int64 {
+	lists := make([][]int64, db.Dict.Len())
+	for _, tr := range db.Trans {
+		for _, id := range tr.Items {
+			lists[id] = append(lists[id], tr.TS)
+		}
+	}
+	return lists
+}
+
+// Validate checks the structural invariants of the database: strictly
+// increasing timestamps, sorted duplicate-free non-empty transactions, and
+// item IDs within the dictionary range.
+func (db *DB) Validate() error {
+	if db.Dict == nil {
+		return errors.New("tsdb: nil dictionary")
+	}
+	n := ItemID(db.Dict.Len())
+	for i, tr := range db.Trans {
+		if i > 0 && db.Trans[i-1].TS >= tr.TS {
+			return fmt.Errorf("tsdb: transactions out of order at index %d (ts %d after %d)", i, tr.TS, db.Trans[i-1].TS)
+		}
+		if len(tr.Items) == 0 {
+			return fmt.Errorf("tsdb: empty transaction at ts %d", tr.TS)
+		}
+		for j, id := range tr.Items {
+			if id >= n {
+				return fmt.Errorf("tsdb: transaction at ts %d references unknown item %d", tr.TS, id)
+			}
+			if j > 0 && tr.Items[j-1] >= id {
+				return fmt.Errorf("tsdb: transaction at ts %d has unsorted or duplicate items", tr.TS)
+			}
+		}
+	}
+	return nil
+}
+
+// InternPattern converts item names into a sorted ItemID pattern. It returns
+// an error naming the first unknown item.
+func (db *DB) InternPattern(names []string) ([]ItemID, error) {
+	ids := make([]ItemID, 0, len(names))
+	for _, name := range names {
+		id, ok := db.Dict.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("tsdb: unknown item %q", name)
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// PatternNames renders a sorted ItemID pattern back into item names.
+func (db *DB) PatternNames(pattern []ItemID) []string {
+	names := make([]string, len(pattern))
+	for i, id := range pattern {
+		names[i] = db.Dict.Name(id)
+	}
+	return names
+}

@@ -1,0 +1,116 @@
+// Package tsdb models time series data as temporally ordered transactional
+// databases, following Section 3 of Kiran et al., "Discovering Recurring
+// Patterns in Time Series" (EDBT 2015).
+//
+// A time series is an event sequence: an ordered collection of (item,
+// timestamp) pairs. Grouping the items that share a timestamp yields a
+// transactional database whose transactions are uniquely keyed by their
+// timestamps. The point sequence of every pattern is preserved by this
+// construction, so no temporal information is lost (paper Definition 2 and
+// Example 2).
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ItemID is a dense integer identifier assigned to an item (event type) by a
+// Dictionary. All mining code operates on ItemIDs; human-readable names are
+// restored through the owning Dictionary when results are rendered.
+type ItemID uint32
+
+// Event is a single observation in a time series: an item occurring at a
+// timestamp (paper Definition 1).
+type Event struct {
+	Item string
+	TS   int64
+}
+
+// EventSequence is an ordered collection of events. Ordering is by
+// timestamp; events sharing a timestamp may appear in any relative order.
+type EventSequence []Event
+
+// Sort orders the sequence by timestamp, breaking ties by item name so the
+// result is deterministic.
+func (s EventSequence) Sort() {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].TS != s[j].TS {
+			return s[i].TS < s[j].TS
+		}
+		return s[i].Item < s[j].Item
+	})
+}
+
+// PointSequence returns the ordered occurrence timestamps of item within the
+// sequence (paper Definition 2). The sequence need not be pre-sorted.
+func (s EventSequence) PointSequence(item string) []int64 {
+	var ts []int64
+	for _, e := range s {
+		if e.Item == item {
+			ts = append(ts, e.TS)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return dedupInt64(ts)
+}
+
+func dedupInt64(ts []int64) []int64 {
+	if len(ts) < 2 {
+		return ts
+	}
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Dictionary interns item names, assigning each distinct name a dense ItemID
+// in first-seen order.
+type Dictionary struct {
+	byName map[string]ItemID
+	names  []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byName: make(map[string]ItemID)}
+}
+
+// Intern returns the ItemID for name, assigning a fresh ID if the name has
+// not been seen before.
+func (d *Dictionary) Intern(name string) ItemID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := ItemID(len(d.names))
+	d.byName[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the ItemID for name and whether it is known.
+func (d *Dictionary) Lookup(name string) (ItemID, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the item name for id. It panics if id was never assigned,
+// since that always indicates a programming error (IDs only come from
+// Intern).
+func (d *Dictionary) Name(id ItemID) string {
+	if int(id) >= len(d.names) {
+		panic(fmt.Sprintf("tsdb: unknown ItemID %d (dictionary has %d items)", id, len(d.names)))
+	}
+	return d.names[id]
+}
+
+// Len reports the number of distinct interned items.
+func (d *Dictionary) Len() int { return len(d.names) }
+
+// Names returns the interned names in ID order. The returned slice is shared
+// with the dictionary and must not be modified.
+func (d *Dictionary) Names() []string { return d.names }

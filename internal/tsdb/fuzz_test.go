@@ -1,0 +1,82 @@
+package tsdb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The fuzz targets run their seed corpus as part of the normal test suite;
+// use `go test -fuzz FuzzReadText ./internal/tsdb` for open-ended fuzzing.
+
+func FuzzReadText(f *testing.F) {
+	f.Add([]byte("1\ta b g\n2\ta c d\n"))
+	f.Add([]byte("# comment\n\n5 x\n"))
+	f.Add([]byte("bogus"))
+	f.Add([]byte("9223372036854775807\tx\n"))
+	f.Add([]byte("-1\tx y z\n-1\tx\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("Read accepted input producing invalid DB: %v", err)
+		}
+		// Whatever parses must round-trip through the text format.
+		var buf bytes.Buffer
+		if err := Write(&buf, db); err != nil {
+			t.Fatalf("Write failed on parsed DB: %v", err)
+		}
+		db2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if db2.Len() != db.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", db.Len(), db2.Len())
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid encoding and mutations of it.
+	b := NewBuilder()
+	b.Add("alpha", 1)
+	b.Add("beta", 1)
+	b.Add("alpha", 7)
+	var valid bytes.Buffer
+	if err := WriteBinary(&valid, b.Build()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("RPDB"))
+	f.Add([]byte("RPDB\x01\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("ReadBinary accepted input producing invalid DB: %v", err)
+		}
+	})
+}
+
+func FuzzReadEvents(f *testing.F) {
+	f.Add([]byte("1,a\n2,b\n"))
+	f.Add([]byte("x,y\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadEvents(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(events); i++ {
+			if events[i-1].TS > events[i].TS {
+				t.Fatal("ReadEvents returned unsorted events")
+			}
+		}
+		if db := FromEvents(events); db.Validate() != nil {
+			t.Fatal("events produced invalid DB")
+		}
+	})
+}

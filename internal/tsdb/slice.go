@@ -1,0 +1,68 @@
+package tsdb
+
+import "sort"
+
+// Slice returns the sub-database of transactions with from <= ts <= to.
+// The result shares the dictionary and transaction storage with db; treat
+// both as immutable afterwards.
+func (db *DB) Slice(from, to int64) *DB {
+	lo := sort.Search(len(db.Trans), func(i int) bool { return db.Trans[i].TS >= from })
+	hi := sort.Search(len(db.Trans), func(i int) bool { return db.Trans[i].TS > to })
+	if lo > hi {
+		lo = hi
+	}
+	return &DB{Dict: db.Dict, Trans: db.Trans[lo:hi]}
+}
+
+// FilterItems returns a copy of db restricted to the given items;
+// transactions left empty are dropped. The result shares the dictionary.
+func (db *DB) FilterItems(keep []ItemID) *DB {
+	want := make(map[ItemID]bool, len(keep))
+	for _, id := range keep {
+		want[id] = true
+	}
+	out := &DB{Dict: db.Dict}
+	for _, tr := range db.Trans {
+		var items []ItemID
+		for _, id := range tr.Items {
+			if want[id] {
+				items = append(items, id)
+			}
+		}
+		if len(items) > 0 {
+			out.Trans = append(out.Trans, Transaction{TS: tr.TS, Items: items})
+		}
+	}
+	return out
+}
+
+// Rebase returns a copy of db with all timestamps shifted by delta.
+// Useful for aligning datasets collected against different epochs.
+func (db *DB) Rebase(delta int64) *DB {
+	out := &DB{Dict: db.Dict, Trans: make([]Transaction, len(db.Trans))}
+	for i, tr := range db.Trans {
+		out.Trans[i] = Transaction{TS: tr.TS + delta, Items: tr.Items}
+	}
+	return out
+}
+
+// Merge combines several databases that share a dictionary into one,
+// unioning transactions at equal timestamps. It panics if the databases do
+// not share the same dictionary, since silently cross-wiring item IDs
+// would corrupt every downstream result.
+func Merge(dbs ...*DB) *DB {
+	if len(dbs) == 0 {
+		return &DB{Dict: NewDictionary()}
+	}
+	dict := dbs[0].Dict
+	b := &Builder{dict: dict, groups: make(map[int64]map[ItemID]struct{})}
+	for _, db := range dbs {
+		if db.Dict != dict {
+			panic("tsdb: Merge requires databases sharing one dictionary")
+		}
+		for _, tr := range db.Trans {
+			b.AddIDs(tr.TS, tr.Items...)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,109 @@
+package tsdb
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sliceTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Read(strings.NewReader("1\ta b\n5\tb c\n9\ta c\n12\tc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSlice(t *testing.T) {
+	db := sliceTestDB(t)
+	cases := []struct {
+		from, to int64
+		want     []int64
+	}{
+		{0, 100, []int64{1, 5, 9, 12}},
+		{5, 9, []int64{5, 9}},
+		{2, 4, nil},
+		{12, 12, []int64{12}},
+		{13, 5, nil}, // inverted range
+	}
+	for _, c := range cases {
+		got := db.Slice(c.from, c.to)
+		var ts []int64
+		for _, tr := range got.Trans {
+			ts = append(ts, tr.TS)
+		}
+		if !reflect.DeepEqual(ts, c.want) {
+			t.Errorf("Slice(%d,%d) = %v, want %v", c.from, c.to, ts, c.want)
+		}
+		if got.Dict != db.Dict {
+			t.Error("Slice must share the dictionary")
+		}
+	}
+}
+
+func TestFilterItems(t *testing.T) {
+	db := sliceTestDB(t)
+	a, _ := db.Dict.Lookup("a")
+	got := db.FilterItems([]ItemID{a})
+	if got.Len() != 2 {
+		t.Fatalf("FilterItems(a) kept %d transactions, want 2", got.Len())
+	}
+	for _, tr := range got.Trans {
+		if len(tr.Items) != 1 || tr.Items[0] != a {
+			t.Errorf("unexpected transaction %+v", tr)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("filtered DB invalid: %v", err)
+	}
+	empty := db.FilterItems(nil)
+	if empty.Len() != 0 {
+		t.Errorf("FilterItems(nil) kept %d transactions", empty.Len())
+	}
+}
+
+func TestRebase(t *testing.T) {
+	db := sliceTestDB(t)
+	shifted := db.Rebase(100)
+	if shifted.Trans[0].TS != 101 || shifted.Trans[3].TS != 112 {
+		t.Errorf("Rebase failed: %v", shifted.Trans)
+	}
+	if err := shifted.Validate(); err != nil {
+		t.Errorf("rebased DB invalid: %v", err)
+	}
+	// Negative shifts work too.
+	back := shifted.Rebase(-100)
+	for i := range db.Trans {
+		if back.Trans[i].TS != db.Trans[i].TS {
+			t.Fatal("round trip shift failed")
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	db := sliceTestDB(t)
+	first := db.Slice(0, 5)
+	second := db.Slice(5, 100) // overlaps at ts 5
+	merged := Merge(first, second)
+	if merged.Len() != db.Len() {
+		t.Fatalf("merge lost transactions: %d vs %d", merged.Len(), db.Len())
+	}
+	for i := range db.Trans {
+		if merged.Trans[i].TS != db.Trans[i].TS ||
+			!reflect.DeepEqual(merged.Trans[i].Items, db.Trans[i].Items) {
+			t.Fatalf("merge diverged at %d", i)
+		}
+	}
+	if Merge().Len() != 0 {
+		t.Error("empty merge should be empty")
+	}
+	// Foreign dictionaries are rejected loudly.
+	other := sliceTestDB(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge across dictionaries must panic")
+		}
+	}()
+	Merge(db, other)
+}

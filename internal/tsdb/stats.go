@@ -1,0 +1,130 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a transactional database; used for the dataset
+// characteristics reported alongside each experiment.
+type Stats struct {
+	Transactions  int
+	DistinctItems int
+	Events        int     // total item occurrences
+	AvgTxLen      float64 // Events / Transactions
+	MaxTxLen      int
+	FirstTS       int64
+	LastTS        int64
+}
+
+// ComputeStats scans the database once and returns its summary.
+func ComputeStats(db *DB) Stats {
+	s := Stats{Transactions: db.Len(), DistinctItems: db.Dict.Len()}
+	seen := make([]bool, db.Dict.Len())
+	distinct := 0
+	for _, tr := range db.Trans {
+		s.Events += len(tr.Items)
+		if len(tr.Items) > s.MaxTxLen {
+			s.MaxTxLen = len(tr.Items)
+		}
+		for _, id := range tr.Items {
+			if !seen[id] {
+				seen[id] = true
+				distinct++
+			}
+		}
+	}
+	// The dictionary can hold items that never made it into a transaction
+	// (for example when a builder interned names up front); report the
+	// number that actually occur.
+	s.DistinctItems = distinct
+	if s.Transactions > 0 {
+		s.AvgTxLen = float64(s.Events) / float64(s.Transactions)
+		s.FirstTS, s.LastTS = db.Span()
+	}
+	return s
+}
+
+// String renders the stats as a single human-readable line.
+func (s Stats) String() string {
+	return fmt.Sprintf("|TDB|=%d items=%d events=%d avgLen=%.2f maxLen=%d span=[%d,%d]",
+		s.Transactions, s.DistinctItems, s.Events, s.AvgTxLen, s.MaxTxLen, s.FirstTS, s.LastTS)
+}
+
+// ItemSupport counts the support of every item; result indexed by ItemID.
+func (db *DB) ItemSupport() []int {
+	sup := make([]int, db.Dict.Len())
+	for _, tr := range db.Trans {
+		for _, id := range tr.Items {
+			sup[id]++
+		}
+	}
+	return sup
+}
+
+// TopItems returns up to n item names ordered by descending support
+// (ties broken by name) together with their supports.
+func (db *DB) TopItems(n int) []ItemCount {
+	sup := db.ItemSupport()
+	counts := make([]ItemCount, 0, len(sup))
+	for id, c := range sup {
+		if c > 0 {
+			counts = append(counts, ItemCount{Name: db.Dict.Name(ItemID(id)), Support: c})
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].Support != counts[j].Support {
+			return counts[i].Support > counts[j].Support
+		}
+		return counts[i].Name < counts[j].Name
+	})
+	if n < len(counts) {
+		counts = counts[:n]
+	}
+	return counts
+}
+
+// ItemCount pairs an item name with its support.
+type ItemCount struct {
+	Name    string
+	Support int
+}
+
+// DailyFrequency aggregates an item's occurrences into buckets of bucketSize
+// timestamps, returning counts indexed by bucket number starting at the
+// database's first timestamp. Used to regenerate Figure 8 (daily hashtag
+// frequencies, bucketSize = 1440 minutes).
+func (db *DB) DailyFrequency(item string, bucketSize int64) []int {
+	id, ok := db.Dict.Lookup(item)
+	if !ok || db.Len() == 0 || bucketSize <= 0 {
+		return nil
+	}
+	first, last := db.Span()
+	n := int((last-first)/bucketSize) + 1
+	counts := make([]int, n)
+	for _, tr := range db.Trans {
+		for _, it := range tr.Items {
+			if it == id {
+				counts[(tr.TS-first)/bucketSize]++
+				break
+			}
+		}
+	}
+	return counts
+}
+
+// FormatPattern renders a pattern as "{a,b,c}" using the database's
+// dictionary.
+func (db *DB) FormatPattern(pattern []ItemID) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range pattern {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(db.Dict.Name(id))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,146 @@
+// Package rp discovers recurring patterns in time series: itemsets that
+// appear periodically during particular time intervals of a series, rather
+// than throughout it. It implements the model and the RP-growth algorithm of
+// R. Uday Kiran, Haichuan Shang, Masashi Toyoda and Masaru Kitsuregawa,
+// "Discovering Recurring Patterns in Time Series", EDBT 2015.
+//
+// A time series is supplied as a sequence of (item, timestamp) events; the
+// library models it as a temporally ordered transactional database and mines
+// every pattern X whose recurrence — the number of time windows in which X
+// reappears at least MinPS times with consecutive gaps of at most Per —
+// reaches MinRec. Each reported pattern carries its support, recurrence, and
+// the interesting periodic intervals with their periodic supports.
+//
+// Quick start:
+//
+//	b := rp.NewBuilder()
+//	b.Add("jackets", ts1)
+//	b.Add("gloves", ts1)
+//	// ... more events ...
+//	db := b.Build()
+//	patterns, err := rp.Mine(db, rp.Options{Per: 2, MinPS: 3, MinRec: 2})
+//
+// The companion packages under internal/ house the substrate (tsdb), the
+// algorithm internals (core), the comparison baselines (baseline/ppattern,
+// baseline/pfgrowth), the dataset simulators (gen) and the extensions
+// (ext); the cmd/ tools and examples/ programs exercise everything
+// end-to-end.
+package rp
+
+import (
+	"io"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// Foundation types, re-exported from the substrate.
+type (
+	// Event is a single (item, timestamp) observation.
+	Event = tsdb.Event
+	// EventSequence is an ordered collection of events.
+	EventSequence = tsdb.EventSequence
+	// DB is a temporally ordered transactional database built from a series.
+	DB = tsdb.DB
+	// Builder accumulates events into a DB.
+	Builder = tsdb.Builder
+	// ItemID is the dense identifier the miners use for items.
+	ItemID = tsdb.ItemID
+	// Stats summarizes a database.
+	Stats = tsdb.Stats
+)
+
+// Model types, re-exported from the core.
+type (
+	// Options holds the Per / MinPS / MinRec thresholds and execution knobs.
+	Options = core.Options
+	// Interval is a periodic interval [Start, End] with periodic support PS.
+	Interval = core.Interval
+	// Result is a mining result: patterns plus optional search statistics.
+	Result = core.Result
+	// MineStats counts mining work (populated with Options.CollectStats).
+	MineStats = core.MineStats
+)
+
+// NewBuilder returns an empty database builder.
+func NewBuilder() *Builder { return tsdb.NewBuilder() }
+
+// FromEvents builds a database directly from an event sequence.
+func FromEvents(events EventSequence) *DB { return tsdb.FromEvents(events) }
+
+// ReadDB parses a database from either supported on-disk format: the text
+// transaction format ("timestamp<TAB>item item ..." lines) or the compact
+// binary format, detected automatically.
+func ReadDB(r io.Reader) (*DB, error) { return tsdb.ReadAny(r) }
+
+// WriteDB serializes a database in the text transaction format.
+func WriteDB(w io.Writer, db *DB) error { return tsdb.Write(w, db) }
+
+// WriteDBBinary serializes a database in the compact binary format
+// (typically several times smaller than the text format).
+func WriteDBBinary(w io.Writer, db *DB) error { return tsdb.WriteBinary(w, db) }
+
+// ComputeStats summarizes a database.
+func ComputeStats(db *DB) Stats { return tsdb.ComputeStats(db) }
+
+// MinPSFromPercent converts a percentage of the database size into an
+// absolute minimum periodic support (at least 1), matching how the paper
+// states its thresholds.
+func MinPSFromPercent(db *DB, percent float64) int {
+	return core.MinPSFromPercent(db, percent)
+}
+
+// Pattern is a recurring pattern with item names resolved.
+type Pattern struct {
+	// Items are the pattern's item names, in the dictionary's ID order.
+	Items []string
+	// Support is the number of transactions containing the pattern.
+	Support int
+	// Recurrence is the number of interesting periodic intervals.
+	Recurrence int
+	// Intervals are the interesting periodic intervals in time order.
+	Intervals []Interval
+}
+
+// Mine runs RP-growth on db and returns the recurring patterns with item
+// names resolved, in canonical order (shortest patterns first, then by item
+// ID). Use MineRaw to access ItemID-level results and mining statistics.
+func Mine(db *DB, o Options) ([]Pattern, error) {
+	res, err := core.Mine(db, o)
+	if err != nil {
+		return nil, err
+	}
+	return resolve(db, res), nil
+}
+
+// MineRaw runs RP-growth and returns the ItemID-level result, including
+// MineStats when Options.CollectStats is set.
+func MineRaw(db *DB, o Options) (*Result, error) { return core.Mine(db, o) }
+
+// MineFunc streams recurring patterns to fn as they are discovered, with
+// item names resolved; memory stays bounded by the mining structures
+// rather than the result set. Returning false stops mining early. Patterns
+// arrive in discovery order, not the canonical order of Mine.
+func MineFunc(db *DB, o Options, fn func(Pattern) bool) error {
+	return core.MineFunc(db, o, func(p core.Pattern) bool {
+		return fn(Pattern{
+			Items:      db.PatternNames(p.Items),
+			Support:    p.Support,
+			Recurrence: p.Recurrence,
+			Intervals:  p.Intervals,
+		})
+	})
+}
+
+func resolve(db *DB, res *core.Result) []Pattern {
+	out := make([]Pattern, len(res.Patterns))
+	for i, p := range res.Patterns {
+		out[i] = Pattern{
+			Items:      db.PatternNames(p.Items),
+			Support:    p.Support,
+			Recurrence: p.Recurrence,
+			Intervals:  p.Intervals,
+		}
+	}
+	return out
+}
