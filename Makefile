@@ -1,0 +1,27 @@
+# Repository targets. `make check` is the gate CI runs.
+
+GO ?= go
+
+.PHONY: build test check bench fmt vet rpvet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full gate: gofmt, go vet, rpvet, build, race-enabled tests.
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+rpvet:
+	$(GO) run ./cmd/rpvet ./...

@@ -17,6 +17,7 @@ import (
 
 	"github.com/recurpat/rp/internal/baseline/pfgrowth"
 	"github.com/recurpat/rp/internal/baseline/ppattern"
+	"github.com/recurpat/rp/internal/cliio"
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/tsdb"
 )
@@ -28,7 +29,9 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, dst io.Writer) error {
+	// Latch write errors once instead of checking every print.
+	out := cliio.NewWriter(dst)
 	fs := flag.NewFlagSet("rpcompare", flag.ContinueOnError)
 	var (
 		input  = fs.String("input", "-", "transaction file ('-' for stdin)")
@@ -103,5 +106,5 @@ func run(args []string, out io.Writer) error {
 		p := pp.Patterns[i]
 		fmt.Fprintf(out, "  %s sup=%d periodic=%d\n", db.FormatPattern(p.Items), p.Support, p.Periodic)
 	}
-	return nil
+	return out.Err()
 }

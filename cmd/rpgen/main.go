@@ -48,21 +48,33 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	var w io.Writer = stdout
+	// finish flushes and closes the output file; on the write path its
+	// error is the caller's only evidence of a short write, so it is
+	// checked explicitly rather than dropped in a defer.
+	finish := func() error { return nil }
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer f.Close() // backstop for early returns; finish() closes and checks on success
 		bw := bufio.NewWriter(f)
-		defer bw.Flush()
 		w = bw
+		finish = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
 	}
 	write := tsdb.Write
 	if *binary {
 		write = tsdb.WriteBinary
 	}
 	if err := write(w, d.DB); err != nil {
+		return err
+	}
+	if err := finish(); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "rpgen:", d.Name, tsdb.ComputeStats(d.DB))

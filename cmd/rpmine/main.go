@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"github.com/recurpat/rp"
+	"github.com/recurpat/rp/internal/cliio"
 )
 
 func main() {
@@ -30,7 +31,10 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, dst io.Writer) error {
+	// Latch write errors (broken pipe, full disk) and report them once at
+	// the end instead of checking every print.
+	out := cliio.NewWriter(dst)
 	fs := flag.NewFlagSet("rpmine", flag.ContinueOnError)
 	var (
 		input    = fs.String("input", "-", "transaction file to mine ('-' for stdin)")
@@ -126,5 +130,5 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q (want text, tsv, json or csv)", mode)
 	}
-	return nil
+	return out.Err()
 }

@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/recurpat/rp/internal/cliio"
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/ext"
 )
@@ -50,7 +51,9 @@ func (w *watchList) Set(v string) error {
 	return nil
 }
 
-func run(args []string, in io.Reader, out io.Writer) error {
+func run(args []string, in io.Reader, dst io.Writer) error {
+	// Latch write errors once instead of checking every alert line.
+	out := cliio.NewWriter(dst)
 	fs := flag.NewFlagSet("rpmonitor", flag.ContinueOnError)
 	var watch watchList
 	var (
@@ -110,5 +113,5 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			fmt.Fprintf(out, "final: recurring {%s}\n", strings.Join(p, ","))
 		}
 	}
-	return nil
+	return out.Err()
 }

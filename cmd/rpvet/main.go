@@ -1,0 +1,143 @@
+// Command rpvet runs this repository's custom static-analysis passes: the
+// determinism, errcheck, layering and concurrency rules of
+// internal/analysis. It is stdlib-only (go/parser + go/types, no external
+// driver) and is part of the repo gate: scripts/check.sh runs it next to
+// go vet and the race-enabled tests, and CI fails on any finding.
+//
+// Usage:
+//
+//	rpvet [-list] [-pass name[,name...]] [package-dir | ./... ...]
+//
+// With no arguments (or "./...") every package of the enclosing module is
+// analyzed. Findings print one per line as "file:line:col: pass: message"
+// and make the exit status 1; a clean tree exits 0.
+//
+// A finding is suppressed by a "//rpvet:allow <pass>" comment on the
+// flagged line or the line above it — the escape hatch for, e.g., the
+// benchmark timing code that is allowed to call time.Now.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/recurpat/rp/internal/analysis"
+	"github.com/recurpat/rp/internal/cliio"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("rpvet", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list the passes and exit")
+		passFlag = fs.String("pass", "", "run only these comma-separated passes (default: all)")
+		dirFlag  = fs.String("C", "", "change to this directory before resolving packages")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *list {
+		w := cliio.NewWriter(out)
+		for _, p := range analysis.Passes() {
+			fmt.Fprintf(w, "%-12s %s\n", p.Name, p.Doc)
+		}
+		return 0, w.Err()
+	}
+	passes := analysis.Passes()
+	if *passFlag != "" {
+		passes = passes[:0]
+		for _, name := range strings.Split(*passFlag, ",") {
+			p := analysis.PassByName(strings.TrimSpace(name))
+			if p == nil {
+				return 2, fmt.Errorf("unknown pass %q (see -list)", name)
+			}
+			passes = append(passes, p)
+		}
+	}
+
+	base := *dirFlag
+	if base == "" {
+		var err error
+		if base, err = os.Getwd(); err != nil {
+			return 2, err
+		}
+	}
+	root, err := analysis.FindModuleRoot(base)
+	if err != nil {
+		return 2, err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return 2, err
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*analysis.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		var batch []*analysis.Package
+		var err error
+		switch {
+		case pat == "./..." || pat == "...":
+			batch, err = loader.LoadAll()
+		case strings.HasSuffix(pat, "/..."):
+			batch, err = loadTree(loader, filepath.Join(base, strings.TrimSuffix(pat, "/...")))
+		default:
+			batch, err = loader.LoadDirs([]string{filepath.Join(base, pat)})
+		}
+		if err != nil {
+			return 2, err
+		}
+		for _, p := range batch {
+			if !seen[p.PkgPath] {
+				seen[p.PkgPath] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	diags := analysis.Run(loader, pkgs, passes)
+	n, err := analysis.Print(out, root, diags)
+	if err != nil {
+		return 2, err
+	}
+	if n > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// loadTree loads every package at or below dir, mirroring the go tool's
+// dir/... pattern.
+func loadTree(loader *analysis.Loader, dir string) ([]*analysis.Package, error) {
+	all, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Package
+	for _, p := range all {
+		if p.Dir == abs || strings.HasPrefix(p.Dir, abs+string(filepath.Separator)) {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

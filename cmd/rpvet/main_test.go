@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDir points at the rpfix fixture module used by the analysis
+// package's golden tests.
+var fixtureDir = filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "rpfix")
+
+func TestListPasses(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run(-list) = %d, %v", code, err)
+	}
+	for _, name := range []string{"determinism", "errcheck", "layering", "concurrency"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing pass %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestFixtureModuleFails(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-C", fixtureDir, "./..."}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d on seeded-violation fixture, want 1\n%s", code, out.String())
+	}
+	for _, pass := range []string{" determinism: ", " errcheck: ", " layering: ", " concurrency: "} {
+		if !strings.Contains(out.String(), pass) {
+			t.Errorf("fixture run missing findings from%spass:\n%s", pass, out.String())
+		}
+	}
+}
+
+func TestPassFilter(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-C", fixtureDir, "-pass", "layering", "./..."}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.Contains(line, " layering: ") {
+			t.Errorf("-pass layering leaked a foreign finding: %s", line)
+		}
+	}
+}
+
+func TestDirPattern(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-C", fixtureDir, "internal/baseline/..."}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.HasPrefix(line, "internal/baseline/") {
+			t.Errorf("internal/baseline/... matched a package outside the tree: %s", line)
+		}
+	}
+}
+
+func TestUnknownPass(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-pass", "nonsense"}, &out)
+	if err == nil || code != 2 {
+		t.Fatalf("run(-pass nonsense) = %d, %v; want code 2 and an error", code, err)
+	}
+}
+
+// TestRepoIsClean is the gate the other tests exist to protect: rpvet over
+// this repository itself must exit 0 with no output.
+func TestRepoIsClean(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-C", filepath.Join("..", "..")}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 || out.Len() != 0 {
+		t.Fatalf("rpvet on this repo: exit %d with output:\n%s", code, out.String())
+	}
+}

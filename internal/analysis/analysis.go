@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one pass.
+type Diagnostic struct {
+	Pos  token.Position
+	Pass string
+	Msg  string
+}
+
+// String renders the finding as "file:line:col: pass: message" with the
+// file path relative to root (when possible), the format the golden tests
+// and scripts/check.sh consume.
+func (d Diagnostic) String(root string) string {
+	file := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", file, d.Pos.Line, d.Pos.Column, d.Pass, d.Msg)
+}
+
+// Pass is one analysis over a single package.
+type Pass struct {
+	// Name is the identifier used in output and in //rpvet:allow directives.
+	Name string
+	// Doc is a one-line description shown by rpvet -list.
+	Doc string
+	// Run inspects one package and reports findings through ctx.Report.
+	Run func(ctx *Context)
+}
+
+// Context hands one package to a pass and collects its findings.
+type Context struct {
+	Loader *Loader
+	Pkg    *Package
+
+	pass string
+	out  *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (ctx *Context) Report(pos token.Pos, format string, args ...any) {
+	*ctx.out = append(*ctx.out, Diagnostic{
+		Pos:  ctx.Loader.Fset.Position(pos),
+		Pass: ctx.pass,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Passes returns the full suite in its fixed running order.
+func Passes() []*Pass {
+	return []*Pass{
+		DeterminismPass(),
+		ErrcheckPass(),
+		LayeringPass(),
+		ConcurrencyPass(),
+	}
+}
+
+// PassByName looks a pass up by its directive name.
+func PassByName(name string) *Pass {
+	for _, p := range Passes() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Run applies the passes to the packages, drops findings suppressed by
+// //rpvet:allow directives, and returns the rest sorted by position.
+func Run(l *Loader, pkgs []*Package, passes []*Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, pass := range passes {
+			ctx := &Context{Loader: l, Pkg: pkg, pass: pass.Name, out: &diags}
+			pass.Run(ctx)
+		}
+	}
+	diags = filterAllowed(l, pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return diags
+}
+
+// Print writes the diagnostics one per line and returns how many there
+// were, so callers can turn findings into a non-zero exit.
+func Print(w io.Writer, root string, diags []Diagnostic) (int, error) {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String(root)); err != nil {
+			return 0, err
+		}
+	}
+	return len(diags), nil
+}
+
+// allowKey identifies one source line of one file.
+type allowKey struct {
+	file string
+	line int
+}
+
+// filterAllowed drops diagnostics covered by an "//rpvet:allow <pass>"
+// comment directive. A directive covers the line it sits on (trailing
+// comment) and the line directly below it (standalone comment above the
+// flagged statement). Several passes may be listed, comma-separated:
+//
+//	start := time.Now() //rpvet:allow determinism
+//	//rpvet:allow errcheck,determinism
+//	doRiskyThing()
+func filterAllowed(l *Loader, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	allowed := make(map[allowKey]map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					passes, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					end := l.Fset.Position(c.End())
+					for _, line := range []int{end.Line, end.Line + 1} {
+						key := allowKey{file: end.Filename, line: line}
+						if allowed[key] == nil {
+							allowed[key] = make(map[string]bool)
+						}
+						for _, p := range passes {
+							allowed[key][p] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if allowed[allowKey{file: d.Pos.Filename, line: d.Pos.Line}][d.Pass] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parseAllow extracts the pass names from an "//rpvet:allow p1,p2 reason"
+// comment, reporting ok=false for any other comment.
+func parseAllow(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//rpvet:allow")
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var passes []string
+	for _, p := range strings.Split(fields[0], ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			passes = append(passes, p)
+		}
+	}
+	return passes, len(passes) > 0
+}
+
+// enclosingFunc returns the body of the innermost function declaration or
+// literal in path (a Inspect-style ancestor stack, outermost first) that
+// contains the node at stack top.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// inspectWithStack walks the file keeping the ancestor stack, calling fn
+// for every node with the stack of its ancestors (outermost first, not
+// including the node itself).
+func inspectWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		recurse := fn(n, stack)
+		if recurse {
+			stack = append(stack, n)
+		}
+		return recurse
+	})
+}

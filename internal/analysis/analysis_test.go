@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// loadFixture type-checks the rpfix fixture module once and runs the full
+// pass suite over it.
+func loadFixture(t *testing.T) (*Loader, []Diagnostic) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "rpfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("fixture module loaded zero packages")
+	}
+	return l, Run(l, pkgs, Passes())
+}
+
+// TestFixtureGolden checks every pass against its golden findings on the
+// rpfix fixture module. Regenerate with:
+//
+//	go test ./internal/analysis -run TestFixtureGolden -update
+func TestFixtureGolden(t *testing.T) {
+	l, diags := loadFixture(t)
+
+	byPass := make(map[string][]string)
+	for _, d := range diags {
+		byPass[d.Pass] = append(byPass[d.Pass], d.String(l.ModDir))
+	}
+
+	for _, p := range Passes() {
+		t.Run(p.Name, func(t *testing.T) {
+			got := strings.Join(byPass[p.Name], "\n")
+			if got != "" {
+				got += "\n"
+			}
+			golden := filepath.Join("testdata", "golden", p.Name+".txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden file (run with -update to create it): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings differ from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestFixtureFindsEveryKind spot-checks, independently of the golden
+// files, that each seeded violation class in the fixture is reported and
+// each deliberately clean construct is not.
+func TestFixtureFindsEveryKind(t *testing.T) {
+	l, diags := loadFixture(t)
+	var all []string
+	for _, d := range diags {
+		all = append(all, d.String(l.ModDir))
+	}
+	out := strings.Join(all, "\n")
+
+	mustContain := []string{
+		// determinism
+		"det.go:14:9: determinism: time.Now",
+		"det.go:19:9: determinism: auto-seeded rand.IntN",
+		"det.go:31:2: determinism: map iteration order",
+		// errcheck
+		"cmd/tool/main.go:19:8: errcheck: (bufio.Writer).Flush",
+		"cmd/tool/main.go:20:2: errcheck: fmt.Fprintln",
+		"cmd/tool/main.go:29:2: errcheck: (os.File).Sync",
+		"cmd/tool/main.go:30:5: errcheck: (os.File).Sync",
+		// layering
+		"badimport.go:7:2: layering: import of cmd/toolkit: cmd/ packages are leaves",
+		"badimport.go:8:2: layering: import of internal/bench",
+		"fake.go:10:14: layering: baseline packages may only use internal/core's measure API, not core.Mine",
+		// concurrency
+		"conc.go:16:46: concurrency: goroutine captures loop variable r",
+		"conc.go:16:4: concurrency: goroutine shares res",
+		"conc.go:16:40: concurrency: goroutine shares parts",
+	}
+	for _, want := range mustContain {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing expected finding %q in:\n%s", want, out)
+		}
+	}
+
+	mustNotContain := []string{
+		"bench.go",        // time.Now there carries //rpvet:allow determinism
+		"PickSeeded",      // explicitly seeded generator is clean
+		"CollectSorted",   // collect-then-sort idiom is clean
+		"FanOutClean",     // parameter passing + mutex + WaitGroup is clean
+		"core.Recurrence", // baseline use of the measure API is allowed
+		"tsdb.go",         // the substrate package is entirely clean
+	}
+	for _, bad := range mustNotContain {
+		for _, line := range all {
+			if strings.Contains(line, bad) {
+				t.Errorf("unexpected finding mentioning %q: %s", bad, line)
+			}
+		}
+	}
+
+	// Clean lines of the errcheck fixture must stay silent: the deferred
+	// Close, the Builder/stderr/stdout writes, and the explicit _ drop.
+	for _, line := range all {
+		if !strings.Contains(line, "cmd/tool/main.go") {
+			continue
+		}
+		for _, cleanLine := range []string{":17:", ":23:", ":24:", ":25:", ":26:", ":28:"} {
+			if strings.Contains(line, cleanLine) {
+				t.Errorf("finding on a deliberately clean line: %s", line)
+			}
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over this repository itself: the
+// tree must carry zero findings, or check.sh (and CI) would be red.
+func TestRepoIsClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(l, pkgs, Passes())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d.String(root))
+	}
+}
+
+// TestAllowDirectiveParsing pins the directive grammar.
+func TestAllowDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+		ok   bool
+	}{
+		{"//rpvet:allow determinism", []string{"determinism"}, true},
+		{"//rpvet:allow determinism,errcheck trailing reason", []string{"determinism", "errcheck"}, true},
+		{"//rpvet:allow", nil, false},
+		{"// rpvet:allow determinism", nil, false}, // space breaks the directive
+		{"// plain comment", nil, false},
+	}
+	for _, c := range cases {
+		got, ok := parseAllow(c.text)
+		if ok != c.ok {
+			t.Errorf("parseAllow(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LayeringPass enforces the module's import DAG on module-internal
+// imports (rules are expressed on module-relative paths, so they apply
+// unchanged to test fixture modules):
+//
+//	internal/tsdb      → nothing internal (the shared substrate)
+//	internal/core      → internal/tsdb
+//	internal/gen       → internal/tsdb
+//	internal/seq       → internal/tsdb
+//	internal/baseline  → internal/tsdb, internal/core (measure API only)
+//	internal/ext       → internal/core, internal/tsdb, internal/seq
+//	internal/analysis  → nothing internal (stdlib-only by construction)
+//	internal/cliio     → nothing internal
+//	internal/bench     → anything internal except cmd/
+//	rp (module root)   → internal/core, internal/tsdb
+//	examples/, cmd/    → unconstrained (leaves of the DAG)
+//
+// On top of the import edges, internal/baseline packages may reference
+// only internal/core's shared measure API (Recurrence, Erec, ...): the
+// baselines exist to be compared against RP-growth, so reaching into the
+// miner itself would make the comparison circular.
+func LayeringPass() *Pass {
+	return &Pass{
+		Name: "layering",
+		Doc:  "enforce the internal import DAG and the baseline/core measure-API boundary",
+		Run:  runLayering,
+	}
+}
+
+// layerRule gives the module-internal import allowance for packages whose
+// relative path matches Prefix. The longest matching prefix wins. A nil
+// Allow means unconstrained; an empty Allow means no internal imports.
+type layerRule struct {
+	Prefix string
+	Allow  []string
+}
+
+var layerRules = []layerRule{
+	{Prefix: "internal/tsdb", Allow: []string{}},
+	{Prefix: "internal/core", Allow: []string{"internal/tsdb"}},
+	{Prefix: "internal/gen", Allow: []string{"internal/tsdb"}},
+	{Prefix: "internal/seq", Allow: []string{"internal/tsdb"}},
+	{Prefix: "internal/baseline", Allow: []string{"internal/tsdb", "internal/core"}},
+	{Prefix: "internal/ext", Allow: []string{"internal/core", "internal/tsdb", "internal/seq"}},
+	{Prefix: "internal/analysis", Allow: []string{}},
+	{Prefix: "internal/cliio", Allow: []string{}},
+	{Prefix: "internal/bench", Allow: []string{"internal"}},
+	{Prefix: "", Allow: []string{"internal/core", "internal/tsdb"}}, // module root
+	{Prefix: "examples", Allow: nil},
+	{Prefix: "cmd", Allow: nil},
+}
+
+// coreMeasureAPI is the part of internal/core the baselines may use: the
+// shared recurrence measures and their types, nothing of the miner.
+var coreMeasureAPI = map[string]bool{
+	"Recurrence":          true,
+	"Erec":                true,
+	"PeriodicAppearances": true,
+	"MaxPeriodicity":      true,
+	"IntersectTS":         true,
+	"Interval":            true,
+	"MinPSFromPercent":    true,
+}
+
+func runLayering(ctx *Context) {
+	rule := matchRule(ctx.Pkg.Rel)
+	modPath := ctx.Loader.ModPath
+	for _, f := range ctx.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != modPath && !strings.HasPrefix(path, modPath+"/") {
+				continue // stdlib (or external) imports are not layering's business
+			}
+			rel := strings.TrimPrefix(strings.TrimPrefix(path, modPath), "/")
+			if strings.HasPrefix(rel, "cmd/") || rel == "cmd" {
+				ctx.Report(imp.Pos(), "import of %s: cmd/ packages are leaves of the DAG and must not be imported", rel)
+				continue
+			}
+			if rule.Allow == nil {
+				continue
+			}
+			if !allowedImport(rule.Allow, rel) {
+				ctx.Report(imp.Pos(), "import of %s breaks the layering rules: %s may only import {%s}", rel, describeRel(ctx.Pkg.Rel), strings.Join(describeAllows(rule.Allow), ", "))
+			}
+		}
+	}
+	if strings.HasPrefix(ctx.Pkg.Rel, "internal/baseline") {
+		checkBaselineUses(ctx)
+	}
+}
+
+// matchRule returns the longest-prefix rule for a relative package path.
+func matchRule(rel string) layerRule {
+	best := layerRule{Allow: nil}
+	bestLen := -1
+	for _, r := range layerRules {
+		if r.Prefix == "" {
+			if rel == "" && bestLen < 0 {
+				best, bestLen = r, 0
+			}
+			continue
+		}
+		if (rel == r.Prefix || strings.HasPrefix(rel, r.Prefix+"/")) && len(r.Prefix) > bestLen {
+			best, bestLen = r, len(r.Prefix)
+		}
+	}
+	return best
+}
+
+func allowedImport(allow []string, rel string) bool {
+	for _, a := range allow {
+		if a == "" {
+			if rel == "" {
+				return true
+			}
+			continue
+		}
+		if rel == a || strings.HasPrefix(rel, a+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func describeRel(rel string) string {
+	if rel == "" {
+		return "the module root"
+	}
+	return rel
+}
+
+func describeAllows(allow []string) []string {
+	if len(allow) == 0 {
+		return []string{"stdlib only"}
+	}
+	out := make([]string, len(allow))
+	for i, a := range allow {
+		out[i] = describeRel(a)
+	}
+	return out
+}
+
+// checkBaselineUses flags references from a baseline package into
+// internal/core that go beyond the shared measure API.
+func checkBaselineUses(ctx *Context) {
+	corePath := ctx.Loader.ModPath + "/internal/core"
+	type finding struct {
+		pos  ast.Node
+		name string
+	}
+	seen := map[string]bool{}
+	var findings []finding
+	for _, f := range ctx.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := ctx.Pkg.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != corePath {
+				return true
+			}
+			if _, isPkgName := obj.(*types.PkgName); isPkgName {
+				return true
+			}
+			if coreMeasureAPI[obj.Name()] || seen[obj.Name()] {
+				return true
+			}
+			seen[obj.Name()] = true
+			findings = append(findings, finding{pos: id, name: obj.Name()})
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos.Pos() < findings[j].pos.Pos() })
+	for _, fd := range findings {
+		ctx.Report(fd.pos.Pos(), "baseline packages may only use internal/core's measure API, not core.%s (the comparison must not lean on the miner under test)", fd.name)
+	}
+}

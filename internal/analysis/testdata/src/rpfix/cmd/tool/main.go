@@ -1,0 +1,31 @@
+// Command tool is the errcheck fixture: each statement below is either a
+// seeded dropped-error violation or a documented exclusion.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	f, err := os.Create("out.txt")
+	if err != nil {
+		return
+	}
+	defer f.Close() // deferred Close: the one allowed defer drop
+	bw := bufio.NewWriter(f)
+	defer bw.Flush()          // deferred Flush: flagged (silent short write)
+	fmt.Fprintln(bw, "hello") // fallible io.Writer destination: flagged
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")                // strings.Builder destination: clean
+	b.WriteString("y")                  // Builder method: clean
+	fmt.Fprintln(os.Stderr, b.String()) // best-effort stderr: clean
+	fmt.Println("done")                 // best-effort stdout: clean
+
+	_ = f.Sync() // explicit blank assignment: clean
+	f.Sync()     // bare statement dropping the error: flagged
+	go f.Sync()  // goroutine dropping the error: flagged
+}

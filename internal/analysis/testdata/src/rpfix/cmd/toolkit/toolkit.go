@@ -1,0 +1,8 @@
+// Package toolkit exists only so the fixture can exercise the rule that
+// cmd/ packages are leaves: importing it from anywhere is flagged. (The
+// package is deliberately not main — main packages cannot be imported at
+// all, so the rule would otherwise be untestable.)
+package toolkit
+
+// Version is referenced by the bad importer.
+const Version = "0.0.0"

@@ -1,0 +1,3 @@
+module example.com/rpfix
+
+go 1.22

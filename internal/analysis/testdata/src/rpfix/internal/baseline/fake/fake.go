@@ -1,0 +1,12 @@
+// Package fake is a fixture baseline: it may lean on core's shared
+// measure API, but calling into the miner under comparison is flagged.
+package fake
+
+import "example.com/rpfix/internal/core"
+
+// Compare mixes an allowed measure call with a forbidden miner call.
+func Compare(ts []int64) int {
+	n := core.Recurrence(ts) // measure API: allowed
+	res := core.Mine()       // miner entry point: flagged
+	return n + len(res.Patterns)
+}

@@ -1,0 +1,13 @@
+// Package bench is the fixture benchmark layer. Its wall-clock read is
+// the measurement itself, so it carries the allow directive the golden
+// tests verify.
+package bench
+
+import "time"
+
+// Elapsed times one run of f.
+func Elapsed(f func()) time.Duration {
+	start := time.Now() //rpvet:allow determinism — timing is the measurement
+	f()
+	return time.Since(start)
+}

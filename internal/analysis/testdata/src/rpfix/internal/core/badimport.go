@@ -1,0 +1,19 @@
+package core
+
+// Seeded layering violations: core reaching up the DAG into bench, and
+// importing a cmd/ package (a leaf that nothing may import).
+
+import (
+	"example.com/rpfix/cmd/toolkit"
+	"example.com/rpfix/internal/bench"
+)
+
+// BadTiming drags benchmark machinery into the miner: flagged.
+func BadTiming(f func()) int64 {
+	return bench.Elapsed(f).Nanoseconds()
+}
+
+// BadVersion reaches into a cmd/ leaf: flagged.
+func BadVersion() string {
+	return toolkit.Version
+}

@@ -1,0 +1,39 @@
+package core
+
+// Seeded concurrency violations: a fan-out that captures its loop
+// variable and mutates shared Result state with no synchronization in
+// sight, next to the disciplined version.
+
+import "sync"
+
+// FanOutCapture is everything the pass forbids at once: the goroutine
+// captures loop variable r and touches res and parts (shared Result
+// state) in a function with no sync or channel use.
+func FanOutCapture(parts []Result) *Result {
+	res := &Result{}
+	for r := range parts {
+		go func() {
+			res.Patterns = append(res.Patterns, parts[r].Patterns...)
+		}()
+	}
+	return res
+}
+
+// FanOutClean passes the index as an argument and merges under a mutex
+// with a WaitGroup in scope: clean.
+func FanOutClean(parts []Result) *Result {
+	res := &Result{}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for r := range parts {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			mu.Lock()
+			res.Patterns = append(res.Patterns, parts[r].Patterns...)
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	return res
+}

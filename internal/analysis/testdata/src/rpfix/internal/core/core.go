@@ -1,0 +1,19 @@
+// Package core is the fixture miner: a Result accumulator, a Mine entry
+// point the baselines must not call, and the shared measure API they may.
+package core
+
+import "example.com/rpfix/internal/tsdb"
+
+// Result mirrors the real miner's accumulator.
+type Result struct {
+	Patterns []tsdb.ItemID
+}
+
+// Mine is the miner entry point; baselines referencing it break layering.
+func Mine() *Result { return &Result{} }
+
+// Recurrence belongs to the shared measure API baselines may use.
+func Recurrence(ts []int64) int { return len(ts) }
+
+// Erec belongs to the shared measure API baselines may use.
+func Erec(ts []int64) int { return len(ts) }

@@ -1,0 +1,45 @@
+package core
+
+// Seeded determinism violations for the golden tests, next to the clean
+// variants each diagnostic should steer people toward.
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock inside mining state: flagged.
+func Stamp() int64 {
+	return time.Now().Unix()
+}
+
+// Pick draws from the auto-seeded global generator: flagged.
+func Pick(n int) int {
+	return rand.IntN(n)
+}
+
+// PickSeeded threads an explicitly seeded generator: clean.
+func PickSeeded(seed uint64, n int) int {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	return rng.IntN(n)
+}
+
+// Collect ranges a map with no sort afterwards: flagged.
+func Collect(m map[int]int64) []int64 {
+	var out []int64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// CollectSorted uses the collect-then-sort idiom: clean.
+func CollectSorted(m map[int]int64) []int64 {
+	var out []int64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

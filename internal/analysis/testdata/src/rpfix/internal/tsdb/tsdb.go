@@ -1,0 +1,6 @@
+// Package tsdb is the fixture's shared substrate: the one internal
+// package every layer may import.
+package tsdb
+
+// ItemID mirrors the real module's item identifier.
+type ItemID int32

@@ -28,7 +28,7 @@ func Ablations(d *Dataset, o core.Options) ([]AblationRow, error) {
 	o.CollectStats = true
 	var rows []AblationRow
 	run := func(name, variant string, mine func() (*core.Result, error)) error {
-		start := time.Now()
+		start := time.Now() //rpvet:allow determinism — the ablation measures runtime
 		res, err := mine()
 		if err != nil {
 			return err

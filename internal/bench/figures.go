@@ -30,7 +30,7 @@ func Sweep(d *Dataset, from, to, step float64) ([]SweepPoint, error) {
 		for _, per := range d.Pers {
 			for pct := from; pct <= to+1e-9; pct += step {
 				minPS := core.MinPSFromPercent(d.DB, pct)
-				start := time.Now()
+				start := time.Now() //rpvet:allow determinism — Figure 9 measures runtime
 				res, err := core.Mine(d.DB, core.Options{Per: per, MinPS: minPS, MinRec: minRec})
 				if err != nil {
 					return nil, err

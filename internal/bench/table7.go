@@ -27,7 +27,7 @@ func Table7(d *Dataset) ([]Table7Row, error) {
 		minPS := core.MinPSFromPercent(d.DB, pct)
 		for k, minRec := range paperMinRecs {
 			for j, per := range d.Pers {
-				start := time.Now()
+				start := time.Now() //rpvet:allow determinism — Table 7 measures runtime
 				if _, err := core.Mine(d.DB, core.Options{Per: per, MinPS: minPS, MinRec: minRec}); err != nil {
 					return nil, err
 				}

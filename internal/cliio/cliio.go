@@ -1,0 +1,40 @@
+// Package cliio holds the small I/O helpers shared by the command-line
+// tools. Its Writer latches the first write error so the CLIs can print
+// with plain fmt.Fprintf and still fail loudly (broken pipe, full disk)
+// by checking Err once before exiting — the contract the errcheck pass of
+// internal/analysis recognizes via the Err() error method.
+package cliio
+
+import "io"
+
+// Writer wraps an io.Writer and remembers the first write error. After an
+// error every subsequent write is dropped, so a burst of prints after a
+// broken pipe does no further work and the original cause is preserved.
+type Writer struct {
+	dst io.Writer
+	err error
+}
+
+// NewWriter wraps dst. A nil-safe no-op: wrapping an existing *Writer
+// returns it unchanged so layered helpers share one latch.
+func NewWriter(dst io.Writer) *Writer {
+	if w, ok := dst.(*Writer); ok {
+		return w
+	}
+	return &Writer{dst: dst}
+}
+
+// Write implements io.Writer, latching the first error.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.dst.Write(p)
+	if err != nil {
+		w.err = err
+	}
+	return n, err
+}
+
+// Err returns the first error any write hit, or nil.
+func (w *Writer) Err() error { return w.err }

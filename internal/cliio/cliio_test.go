@@ -1,0 +1,58 @@
+package cliio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestWriterLatchesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	dst := &failAfter{n: 2, err: boom}
+	w := NewWriter(dst)
+
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(w, "line %d\n", i)
+	}
+	if !errors.Is(w.Err(), boom) {
+		t.Fatalf("Err() = %v, want %v", w.Err(), boom)
+	}
+	if dst.n != 0 {
+		t.Fatalf("writes after the first failure reached the destination")
+	}
+}
+
+func TestWriterCleanPassThrough(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	fmt.Fprint(w, "hello ")
+	fmt.Fprint(w, "world")
+	if w.Err() != nil {
+		t.Fatalf("Err() = %v on clean writes", w.Err())
+	}
+	if buf.String() != "hello world" {
+		t.Fatalf("buffer = %q", buf.String())
+	}
+}
+
+func TestNewWriterIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if NewWriter(w) != w {
+		t.Fatal("NewWriter(*Writer) must return the same writer, not wrap it again")
+	}
+}

@@ -112,7 +112,9 @@ func collectSubtreeTS(n *rpNode, dst []int64) []int64 {
 
 func appendSubtreeTS(n *rpNode, dst []int64) []int64 {
 	dst = append(dst, n.ts...)
-	for _, c := range n.children {
+	// Child order is irrelevant here: every caller sorts the merged list
+	// (collectSubtreeTS, mineParallel) before it can influence results.
+	for _, c := range n.children { //rpvet:allow determinism
 		dst = appendSubtreeTS(c, dst)
 	}
 	return dst

@@ -154,6 +154,8 @@ func Quest(c QuestConfig) *tsdb.DB {
 		for id := range scratch {
 			ids = append(ids, id)
 		}
+		// Same-seed byte-identity: map order must not reach the builder.
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		b.AddIDs(int64(tr), ids...)
 	}
 	return b.Build()

@@ -1,6 +1,8 @@
 package gen
 
 import (
+	"sort"
+
 	"fmt"
 
 	"github.com/recurpat/rp/internal/tsdb"
@@ -137,6 +139,10 @@ func Shop(c ShopConfig) *tsdb.DB {
 			for id := range scratch {
 				ids = append(ids, id)
 			}
+			// Map iteration order must not leak into the stored transaction
+			// (tsdb.Builder sorts again, but same-seed byte-identity is this
+			// package's contract, so keep the invariant local).
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			b.AddIDs(ts, ids...)
 		}
 	}
