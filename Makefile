@@ -1,8 +1,20 @@
 # Repository targets. `make check` is the gate CI runs.
 
 GO ?= go
+SHELL := /bin/bash
 
-.PHONY: build test check bench fmt vet rpvet
+.PHONY: help build test check bench bench-core fmt vet rpvet
+
+help:
+	@echo "Targets:"
+	@echo "  build       go build ./..."
+	@echo "  test        go test ./..."
+	@echo "  check       full gate: gofmt, go vet, rpvet, build, race tests (CI runs this)"
+	@echo "  bench       end-to-end table benchmarks (root package)"
+	@echo "  bench-core  core hot-path benchmarks; updates BENCH_core.json via cmd/benchfmt"
+	@echo "  fmt         gofmt -w ."
+	@echo "  vet         go vet ./..."
+	@echo "  rpvet       custom static-analysis passes"
 
 build:
 	$(GO) build ./...
@@ -16,6 +28,11 @@ check:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Tracked baseline for the internal/core hot path: run the micro-benchmarks
+# and refresh the committed JSON report.
+bench-core:
+	set -o pipefail; $(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/core/ | $(GO) run ./cmd/benchfmt -out BENCH_core.json
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,113 @@
+// Command benchfmt turns `go test -bench` text output into a stable JSON
+// benchmark report while passing the text through unchanged, so one pipeline
+// both shows the run and records it:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/core/ | benchfmt -out BENCH_core.json
+//
+// The report captures the run context lines (goos, goarch, pkg, cpu) and one
+// record per benchmark result with the iteration count and every reported
+// metric (ns/op, B/op, allocs/op, custom b.ReportMetric units). The JSON is
+// byte-deterministic for identical input: records keep input order and
+// encoding/json sorts metric keys, so committed reports diff cleanly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/recurpat/rp/internal/cliio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the file benchfmt writes.
+type Report struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func run(args []string, src io.Reader, dst io.Writer) error {
+	out := cliio.NewWriter(dst)
+	var outFile string
+	switch {
+	case len(args) == 2 && args[0] == "-out":
+		outFile = args[1]
+	case len(args) == 0:
+	default:
+		return fmt.Errorf("usage: benchfmt [-out report.json] < bench-output")
+	}
+
+	report := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(out, line)
+		if b, ok := parseBenchLine(line); ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+			continue
+		}
+		if k, v, ok := strings.Cut(line, ": "); ok && !strings.Contains(k, " ") && len(report.Benchmarks) == 0 {
+			report.Context[k] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := out.Err(); err != nil {
+		return err
+	}
+	if outFile == "" {
+		return nil
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in input; not writing %s", outFile)
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outFile, append(data, '\n'), 0o644)
+}
+
+// parseBenchLine parses "BenchmarkName-8   123   456 ns/op   7 B/op ..." into
+// a record; reports ok=false for any other line.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/recurpat/rp/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkBuildRPTree          	     100	  14472793 ns/op	  492360 B/op	    1898 allocs/op
+BenchmarkMineEndToEnd-8       	      25	  43322959 ns/op	     230.0 patterns	 3944544 B/op	   24735 allocs/op
+PASS
+ok  	github.com/recurpat/rp/internal/core	0.238s
+`
+
+func TestBenchfmtParsesAndTees(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "report.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-out", outFile}, strings.NewReader(sample), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != sample {
+		t.Errorf("stdout not an exact tee of the input:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if rep.Context["goos"] != "linux" || rep.Context["cpu"] == "" {
+		t.Errorf("context not captured: %+v", rep.Context)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkBuildRPTree" || b0.Iterations != 100 ||
+		b0.Metrics["ns/op"] != 14472793 || b0.Metrics["allocs/op"] != 1898 {
+		t.Errorf("first record wrong: %+v", b0)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Name != "BenchmarkMineEndToEnd-8" || b1.Metrics["patterns"] != 230 {
+		t.Errorf("custom metric not captured: %+v", b1)
+	}
+}
+
+func TestBenchfmtRejectsEmptyRuns(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{"-out", outFile}, strings.NewReader("PASS\nok x 1s\n"), new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("want an error when no benchmark lines are present")
+	}
+	if _, statErr := os.Stat(outFile); !os.IsNotExist(statErr) {
+		t.Error("report file created despite empty run")
+	}
+}
+
+func TestBenchfmtWithoutOutIsPureTee(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != sample {
+		t.Error("pass-through output differs from input")
+	}
+}

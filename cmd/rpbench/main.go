@@ -54,6 +54,8 @@ func run(args []string, dst io.Writer) error {
 		to      = fs.Float64("sweep-to", 10, "figure7/9: last minPS percentage")
 		step    = fs.Float64("sweep-step", 1, "figure7/9: minPS percentage step")
 		t8sup   = fs.Float64("table8-sup-pct", 0, "table8: override minSup/minPS percentage (0 = paper values; raise for reduced scales)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,15 +75,17 @@ func run(args []string, dst io.Writer) error {
 		// "sweep" covers figure7 and figure9 with one set of mining runs.
 		experiments = []string{"table5", "table6", "table7", "table8", "sweep", "figure8", "ablation"}
 	}
-	for _, e := range experiments {
-		start := time.Now() //rpvet:allow determinism — elapsed-time reporting is the point here
-		fmt.Fprintf(out, "== %s (scale %g, seed %d) ==\n", e, *scale, *seed)
-		if err := runOne(e, datasets, *scale, *seed, *from, *to, *step, *t8sup, out); err != nil {
-			return fmt.Errorf("%s: %w", e, err)
+	return cliio.Profile(*cpuProf, *memProf, func() error {
+		for _, e := range experiments {
+			start := time.Now() //rpvet:allow determinism — elapsed-time reporting is the point here
+			fmt.Fprintf(out, "== %s (scale %g, seed %d) ==\n", e, *scale, *seed)
+			if err := runOne(e, datasets, *scale, *seed, *from, *to, *step, *t8sup, out); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+			fmt.Fprintf(out, "-- %s done in %v --\n\n", e, time.Since(start).Round(time.Millisecond))
 		}
-		fmt.Fprintf(out, "-- %s done in %v --\n\n", e, time.Since(start).Round(time.Millisecond))
-	}
-	return out.Err()
+		return out.Err()
+	})
 }
 
 func runOne(exp string, datasets []string, scale float64, seed uint64, from, to, step, t8sup float64, out *cliio.Writer) error {

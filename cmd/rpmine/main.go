@@ -47,14 +47,30 @@ func run(args []string, dst io.Writer) error {
 		stats    = fs.Bool("stats", false, "print database and search statistics")
 		tsv      = fs.Bool("tsv", false, "tab-separated output instead of the pattern notation")
 		format   = fs.String("format", "", "output format: text (default), tsv, json or csv")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	return cliio.Profile(*cpuProf, *memProf, func() error {
+		return mine(*input, *minPSPct, *stats, *tsv, *format, rp.Options{
+			Per:          *per,
+			MinPS:        *minPS,
+			MinRec:       *minRec,
+			MaxLen:       *maxLen,
+			Parallelism:  *parallel,
+			CollectStats: *stats,
+		}, out)
+	})
+}
 
+// mine loads the database, runs the miner and renders the result; split from
+// run so the profiling wrapper brackets exactly the load-mine-print work.
+func mine(input string, minPSPct float64, stats, tsv bool, format string, o rp.Options, out *cliio.Writer) error {
 	var r io.Reader = os.Stdin
-	if *input != "-" {
-		f, err := os.Open(*input)
+	if input != "-" {
+		f, err := os.Open(input)
 		if err != nil {
 			return err
 		}
@@ -65,18 +81,10 @@ func run(args []string, dst io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *minPS == 0 && *minPSPct > 0 {
-		*minPS = rp.MinPSFromPercent(db, *minPSPct)
+	if o.MinPS == 0 && minPSPct > 0 {
+		o.MinPS = rp.MinPSFromPercent(db, minPSPct)
 	}
-	o := rp.Options{
-		Per:          *per,
-		MinPS:        *minPS,
-		MinRec:       *minRec,
-		MaxLen:       *maxLen,
-		Parallelism:  *parallel,
-		CollectStats: *stats,
-	}
-	if *stats {
+	if stats {
 		fmt.Fprintln(out, "# db:", rp.ComputeStats(db))
 		fmt.Fprintf(out, "# thresholds: per=%d minPS=%d minRec=%d\n", o.Per, o.MinPS, o.MinRec)
 	}
@@ -84,17 +92,17 @@ func run(args []string, dst io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *stats {
+	if stats {
 		fmt.Fprintf(out, "# search: candidates=%d examined=%d pruned=%d treeNodes=%d depth=%d\n",
 			res.Stats.CandidateItems, res.Stats.PatternsExamined, res.Stats.PatternsPruned,
 			res.Stats.TreeNodes, res.Stats.MaxDepth)
 		fmt.Fprintf(out, "# patterns: %d (max length %d)\n", len(res.Patterns), res.MaxLen())
 	}
 
-	mode := *format
+	mode := format
 	if mode == "" {
 		mode = "text"
-		if *tsv {
+		if tsv {
 			mode = "tsv"
 		}
 	}

@@ -1,12 +1,13 @@
 package analysis
 
 import (
+	"cmp"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"io"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -65,6 +66,7 @@ func Passes() []*Pass {
 		ErrcheckPass(),
 		LayeringPass(),
 		ConcurrencyPass(),
+		SortSlicePass(),
 	}
 }
 
@@ -89,18 +91,17 @@ func Run(l *Loader, pkgs []*Package, passes []*Pass) []Diagnostic {
 		}
 	}
 	diags = filterAllowed(l, pkgs, diags)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
+	slices.SortFunc(diags, func(a, b Diagnostic) int {
 		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+			return cmp.Compare(a.Pos.Filename, b.Pos.Filename)
 		}
 		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+			return a.Pos.Line - b.Pos.Line
 		}
 		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+			return a.Pos.Column - b.Pos.Column
 		}
-		return a.Pass < b.Pass
+		return cmp.Compare(a.Pass, b.Pass)
 	})
 	return diags
 }

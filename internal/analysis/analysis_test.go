@@ -97,6 +97,9 @@ func TestFixtureFindsEveryKind(t *testing.T) {
 		"conc.go:16:46: concurrency: goroutine captures loop variable r",
 		"conc.go:16:4: concurrency: goroutine shares res",
 		"conc.go:16:40: concurrency: goroutine shares parts",
+		// sortslice
+		"sortslice.go:14:2: sortslice: reflection-based sort.Slice on []int64",
+		"sortslice.go:20:2: sortslice: reflection-based sort.SliceStable on []string",
 	}
 	for _, want := range mustContain {
 		if !strings.Contains(out, want) {
@@ -130,6 +133,18 @@ func TestFixtureFindsEveryKind(t *testing.T) {
 			if strings.Contains(line, cleanLine) {
 				t.Errorf("finding on a deliberately clean line: %s", line)
 			}
+		}
+	}
+
+	// The sortslice fixture's struct-element sort and the slices-based
+	// variants must stay silent: only the two seeded reflection sorts on
+	// basic-typed slices may be reported.
+	for _, line := range all {
+		if !strings.Contains(line, "sortslice.go") {
+			continue
+		}
+		if !strings.Contains(line, ":14:") && !strings.Contains(line, ":20:") {
+			t.Errorf("finding on a deliberately clean sortslice line: %s", line)
 		}
 	}
 }

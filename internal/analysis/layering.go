@@ -3,7 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -183,7 +183,7 @@ func checkBaselineUses(ctx *Context) {
 			return true
 		})
 	}
-	sort.Slice(findings, func(i, j int) bool { return findings[i].pos.Pos() < findings[j].pos.Pos() })
+	slices.SortFunc(findings, func(a, b finding) int { return int(a.pos.Pos()) - int(b.pos.Pos()) })
 	for _, fd := range findings {
 		ctx.Report(fd.pos.Pos(), "baseline packages may only use internal/core's measure API, not core.%s (the comparison must not lean on the miner under test)", fd.name)
 	}

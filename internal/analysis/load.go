@@ -9,6 +9,7 @@
 package analysis
 
 import (
+	"cmp"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -17,7 +18,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -162,7 +163,7 @@ func (l *Loader) LoadDirs(dirs []string) ([]*Package, error) {
 		}
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	slices.SortFunc(out, func(a, b *Package) int { return cmp.Compare(a.PkgPath, b.PkgPath) })
 	return out, nil
 }
 
@@ -219,7 +220,7 @@ func (l *Loader) load(pkgPath string) (*Package, error) {
 		}
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	if len(names) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SortSlicePass flags reflection-based sort.Slice calls whose first argument
+// is a slice of a basic ordered type (integers, floats, strings). Those sites
+// pay an interface-boxing and reflect.Swapper cost on every call for nothing:
+// slices.Sort covers the natural ascending order and slices.SortFunc covers
+// every other comparator, both monomorphic and allocation-free. The mining
+// hot path was converted wholesale (see internal/core/merge.go); this pass
+// keeps the conversion from regressing. Struct-element sorts are left alone —
+// there sort.Slice and slices.SortFunc are an idiom choice, not a perf bug.
+func SortSlicePass() *Pass {
+	return &Pass{
+		Name: "sortslice",
+		Doc:  "forbid reflection-based sort.Slice on slices of basic ordered types in internal/ and cmd/",
+		Run:  runSortSlice,
+	}
+}
+
+func runSortSlice(ctx *Context) {
+	if !determinismScope(ctx.Pkg.Rel) {
+		return
+	}
+	info := ctx.Pkg.Info
+	for _, f := range ctx.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+				return true
+			}
+			if name := fn.Name(); name != "Slice" && name != "SliceStable" {
+				return true
+			}
+			tv, ok := info.Types[call.Args[0]]
+			if !ok {
+				return true
+			}
+			sl, ok := tv.Type.Underlying().(*types.Slice)
+			if !ok {
+				return true
+			}
+			elem, ok := sl.Elem().Underlying().(*types.Basic)
+			if !ok || elem.Info()&types.IsOrdered == 0 {
+				return true
+			}
+			ctx.Report(call.Pos(), "reflection-based sort.%s on []%s; use slices.Sort for ascending order or slices.SortFunc otherwise", fn.Name(), elem.Name())
+			return true
+		})
+	}
+}

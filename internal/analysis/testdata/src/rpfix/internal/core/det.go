@@ -5,7 +5,7 @@ package core
 
 import (
 	"math/rand/v2"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -40,6 +40,6 @@ func CollectSorted(m map[int]int64) []int64 {
 	for _, v := range m {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

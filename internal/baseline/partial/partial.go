@@ -27,8 +27,9 @@
 package partial
 
 import (
+	"bytes"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/recurpat/rp/internal/tsdb"
@@ -138,7 +139,7 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 	}
 	totalF1 := 0
 	for pos := range cmax {
-		sort.Slice(cmax[pos], func(i, j int) bool { return cmax[pos][i] < cmax[pos][j] })
+		slices.Sort(cmax[pos])
 		if o.MaxSlotItems > 0 && len(cmax[pos]) > o.MaxSlotItems {
 			cmax[pos] = cmax[pos][:o.MaxSlotItems]
 		}
@@ -191,7 +192,7 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 	for k, c := range hits {
 		hitList = append(hitList, hit{bits: []byte(k), count: c})
 	}
-	sort.Slice(hitList, func(i, j int) bool { return string(hitList[i].bits) < string(hitList[j].bits) })
+	slices.SortFunc(hitList, func(a, b hit) int { return bytes.Compare(a.bits, b.bits) })
 
 	freq := func(bits []byte) int {
 		total := 0
@@ -225,12 +226,11 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 	}
 	dfs(0, nil)
 
-	sort.Slice(res.Patterns, func(i, j int) bool {
-		a, b := res.Patterns[i], res.Patterns[j]
+	slices.SortFunc(res.Patterns, func(a, b Pattern) int {
 		if a.Filled() != b.Filled() {
-			return a.Filled() < b.Filled()
+			return a.Filled() - b.Filled()
 		}
-		return comparePatternSlots(a.Slots, b.Slots) < 0
+		return comparePatternSlots(a.Slots, b.Slots)
 	})
 	return res, nil
 }

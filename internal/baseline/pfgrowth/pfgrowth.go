@@ -14,8 +14,9 @@
 package pfgrowth
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/tsdb"
@@ -102,11 +103,11 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 		}
 	}
 	// Support-descending exploration order, ties by item ID.
-	sort.Slice(items, func(i, j int) bool {
-		if len(items[i].ts) != len(items[j].ts) {
-			return len(items[i].ts) > len(items[j].ts)
+	slices.SortFunc(items, func(a, b entry) int {
+		if len(a.ts) != len(b.ts) {
+			return len(b.ts) - len(a.ts)
 		}
-		return items[i].item < items[j].item
+		return cmp.Compare(a.item, b.item)
 	})
 
 	var dfs func(prefix []tsdb.ItemID, ts []int64, idx int)
@@ -117,7 +118,7 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 		per := core.MaxPeriodicity(ts, first, last)
 		sorted := make([]tsdb.ItemID, len(prefix))
 		copy(sorted, prefix)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		slices.Sort(sorted)
 		res.Patterns = append(res.Patterns, Pattern{Items: sorted, Support: len(ts), Periodicity: per})
 		if o.Limit > 0 && len(res.Patterns) >= o.Limit {
 			res.Truncated = true
@@ -139,8 +140,8 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 		dfs([]tsdb.ItemID{items[i].item}, items[i].ts, i)
 	}
 
-	sort.Slice(res.Patterns, func(i, j int) bool {
-		return comparePatterns(res.Patterns[i].Items, res.Patterns[j].Items) < 0
+	slices.SortFunc(res.Patterns, func(a, b Pattern) int {
+		return comparePatterns(a.Items, b.Items)
 	})
 	return res, nil
 }

@@ -1,8 +1,9 @@
 package ppattern
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Period discovery. Ma and Hellerstein's p-pattern mining does not assume
@@ -89,11 +90,11 @@ func DiscoverPeriods(ts []int64, w int64, spanFirst, spanLast int64) []Candidate
 			out = append(out, CandidatePeriod{Period: p, Count: count, Score: score})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	slices.SortFunc(out, func(a, b CandidatePeriod) int {
+		if a.Score != b.Score {
+			return cmp.Compare(b.Score, a.Score)
 		}
-		return out[i].Period < out[j].Period
+		return cmp.Compare(a.Period, b.Period)
 	})
 	// Suppress harmonics and window-overlap duplicates: keep a period only
 	// if no stronger kept period lies within w of it.

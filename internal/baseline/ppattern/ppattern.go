@@ -19,8 +19,9 @@
 package ppattern
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/tsdb"
@@ -110,11 +111,11 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 			items = append(items, entry{item: tsdb.ItemID(id), ts: ts})
 		}
 	}
-	sort.Slice(items, func(i, j int) bool {
-		if len(items[i].ts) != len(items[j].ts) {
-			return len(items[i].ts) > len(items[j].ts)
+	slices.SortFunc(items, func(a, b entry) int {
+		if len(a.ts) != len(b.ts) {
+			return len(b.ts) - len(a.ts)
 		}
-		return items[i].item < items[j].item
+		return cmp.Compare(a.item, b.item)
 	})
 
 	// Phase 2+3: grow itemsets over the periodic items; candidates are kept
@@ -128,7 +129,7 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 		if p := core.PeriodicAppearances(ts, bound); p >= o.MinSup {
 			sorted := make([]tsdb.ItemID, len(prefix))
 			copy(sorted, prefix)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			slices.Sort(sorted)
 			res.Patterns = append(res.Patterns, Pattern{Items: sorted, Support: len(ts), Periodic: p})
 			if o.Limit > 0 && len(res.Patterns) >= o.Limit {
 				res.Truncated = true
@@ -155,8 +156,8 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 		dfs([]tsdb.ItemID{items[i].item}, items[i].ts, i)
 	}
 
-	sort.Slice(res.Patterns, func(i, j int) bool {
-		return comparePatterns(res.Patterns[i].Items, res.Patterns[j].Items) < 0
+	slices.SortFunc(res.Patterns, func(a, b Pattern) int {
+		return comparePatterns(a.Items, b.Items)
 	})
 	return res, nil
 }

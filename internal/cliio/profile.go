@@ -1,0 +1,48 @@
+package cliio
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile runs f under the stdlib profilers: a CPU profile is streamed to
+// cpuFile while f runs, and a heap profile is written to memFile after f
+// returns (after a GC, so the profile reflects live memory rather than
+// garbage). Empty filenames disable the respective profile, so callers can
+// pass flag values through unconditionally. Both files are created eagerly;
+// profile-write and close errors are reported unless f itself failed first.
+func Profile(cpuFile, memFile string, f func() error) error {
+	var cf *os.File
+	if cpuFile != "" {
+		var err error
+		cf, err = os.Create(cpuFile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			_ = cf.Close()
+			return err
+		}
+	}
+	err := f()
+	if cf != nil {
+		pprof.StopCPUProfile()
+		if cerr := cf.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil || memFile == "" {
+		return err
+	}
+	mf, err := os.Create(memFile)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // flush dead objects so the profile shows live allocations
+	if err := pprof.WriteHeapProfile(mf); err != nil {
+		_ = mf.Close()
+		return err
+	}
+	return mf.Close()
+}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/recurpat/rp/internal/tsdb"
 )
@@ -51,7 +51,7 @@ func MineBruteForce(db *tsdb.DB, o Options) (*Result, error) {
 				if rec >= o.MinRec {
 					cp := make([]tsdb.ItemID, len(next))
 					copy(cp, next)
-					sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+					slices.Sort(cp)
 					res.Patterns = append(res.Patterns, Pattern{
 						Items:      cp,
 						Support:    len(ext),

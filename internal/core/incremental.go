@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/recurpat/rp/internal/tsdb"
 )
@@ -48,7 +49,7 @@ func (inc *Incremental) Append(ts int64, items ...string) error {
 	for _, name := range items {
 		ids = append(ids, inc.dict.Intern(name))
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	uniq := ids[:1]
 	for _, id := range ids[1:] {
 		if id != uniq[len(uniq)-1] {
@@ -97,11 +98,11 @@ func (inc *Incremental) Candidates() []RPListEntry {
 			out = append(out, RPListEntry{Item: tsdb.ItemID(id), Support: st.sup, Erec: erec})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Support != out[j].Support {
-			return out[i].Support > out[j].Support
+	slices.SortFunc(out, func(a, b RPListEntry) int {
+		if a.Support != b.Support {
+			return b.Support - a.Support
 		}
-		return out[i].Item < out[j].Item
+		return cmp.Compare(a.Item, b.Item)
 	})
 	return out
 }

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"github.com/recurpat/rp/internal/tsdb"
 )
@@ -39,10 +40,18 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 	return res, nil
 }
 
-// miner carries the mining context of one (sequential) RP-growth run.
+// miner carries the mining context of one RP-growth run: the thresholds, the
+// output sink, and the reusable memory of the hot path — the conditional
+// tree arena (reset, not freed, between recursions) and the merge scratch.
+// A miner is single-goroutine state; the parallel mode gives each worker its
+// own and merges their results deterministically afterwards.
 type miner struct {
-	o   Options
-	res *Result
+	o     Options
+	res   *Result            // accumulating sink (Mine, mineParallel)
+	fn    func(Pattern) bool // streaming sink (MineFunc); stops when false
+	stop  bool               // set once fn returned false
+	arena nodeArena          // conditional-tree slab
+	ms    mergeScratch
 }
 
 // mineTree is Algorithm 4 (RP-growth): process the tree's items bottom-up;
@@ -50,117 +59,128 @@ type miner struct {
 // candidate check, evaluate recurrence (Algorithm 5), recurse into the
 // conditional tree, and push the item's ts-lists up for the next iteration.
 func (m *miner) mineTree(t *rpTree, suffix []tsdb.ItemID, depth int) {
-	if m.o.CollectStats && depth > m.res.Stats.MaxDepth {
+	if m.res != nil && m.o.CollectStats && depth > m.res.Stats.MaxDepth {
 		m.res.Stats.MaxDepth = depth
 	}
-	for r := len(t.order) - 1; r >= 0; r-- {
-		item := t.order[r]
-		ts := t.collectTS(r, nil)
-		if len(ts) > 0 {
-			m.extend(t, r, item, ts, suffix, depth)
-		}
+	for r := len(t.order) - 1; r >= 0 && !m.stop; r-- {
+		m.mineRank(t, r, suffix, depth, false)
 		t.pushUp(r)
 	}
 }
 
-// extend evaluates the pattern beta = suffix + item and recurses into its
-// conditional tree when the Erec bound allows supersets to recur.
-func (m *miner) extend(t *rpTree, r int, item tsdb.ItemID, ts []int64, suffix []tsdb.ItemID, depth int) {
-	if m.o.candidateErec(ts) < m.o.MinRec {
-		if m.o.CollectStats {
-			m.res.Stats.PatternsPruned++
+// mineRank evaluates the pattern beta = suffix + order[r] and recurses into
+// its conditional tree when the Erec bound allows supersets to recur. The
+// suffix timestamp list lives in a pooled buffer that is released before the
+// recursion, and the conditional tree is carved from the miner's arena and
+// reclaimed (reset) as soon as its subtree has been mined.
+func (m *miner) mineRank(t *rpTree, r int, suffix []tsdb.ItemID, depth int, subtree bool) {
+	ts := m.ms.getBuf()
+	if subtree {
+		runs := m.ms.runs[:0]
+		for n := t.headers[r]; n != nilNode; n = t.arena.nodes[n].link {
+			runs = t.appendSubtreeRuns(runs, n)
 		}
+		m.ms.runs = runs
+		ts = m.ms.merge(ts)
+	} else {
+		ts = t.collectTS(&m.ms, r, ts)
+	}
+	support := len(ts)
+	if support == 0 {
+		m.ms.putBuf(ts)
 		return
 	}
-	beta := make([]tsdb.ItemID, 0, len(suffix)+1)
-	beta = append(beta, suffix...)
-	beta = append(beta, item)
-
-	if m.o.CollectStats {
+	if m.o.candidateErec(ts) < m.o.MinRec {
+		if m.res != nil && m.o.CollectStats {
+			m.res.Stats.PatternsPruned++
+		}
+		m.ms.putBuf(ts)
+		return
+	}
+	if m.res != nil && m.o.CollectStats {
 		m.res.Stats.PatternsExamined++
 	}
 	rec, ipi := Recurrence(ts, m.o.Per, m.o.MinPS)
+	m.ms.putBuf(ts)
+
+	beta := make([]tsdb.ItemID, 0, len(suffix)+1)
+	beta = append(beta, suffix...)
+	beta = append(beta, t.order[r])
 	if rec >= m.o.MinRec {
-		m.emit(beta, len(ts), rec, ipi)
+		m.emit(beta, support, rec, ipi)
+		if m.stop {
+			return
+		}
 	}
 	if m.o.MaxLen > 0 && len(beta) >= m.o.MaxLen {
 		return
 	}
-	cond := t.conditionalTree(r, m.o, false)
-	if cond == nil {
-		return
+	mark := m.arena.mark()
+	cond := t.conditionalTree(&m.arena, &m.ms, m.o, r, subtree)
+	if cond != nil {
+		if m.res != nil && m.o.CollectStats {
+			m.res.Stats.TreeNodes += cond.nodes
+		}
+		m.mineTree(cond, beta, depth+1)
 	}
-	if m.o.CollectStats {
-		m.res.Stats.TreeNodes += cond.nodes
-	}
-	m.mineTree(cond, beta, depth+1)
+	m.arena.reset(mark)
 }
 
+// emit delivers one recurring pattern to the miner's sink.
 func (m *miner) emit(beta []tsdb.ItemID, support, rec int, ipi []Interval) {
 	items := make([]tsdb.ItemID, len(beta))
 	copy(items, beta)
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
-	m.res.Patterns = append(m.res.Patterns, Pattern{
+	slices.Sort(items)
+	p := Pattern{
 		Items:      items,
 		Support:    support,
 		Recurrence: rec,
 		Intervals:  ipi,
-	})
+	}
+	if m.fn != nil {
+		if !m.fn(p) {
+			m.stop = true
+		}
+		return
+	}
+	m.res.Patterns = append(m.res.Patterns, p)
 }
 
-// mineParallel mines the top-level suffix items concurrently. The shared
-// initial tree is read-only in this mode: each worker merges subtree
-// ts-lists instead of relying on the sequential push-up mutation, which
-// yields exactly the same conditional bases (every descendant tail of an
-// item's node belongs to a transaction containing the item). Partial results
-// are merged in deterministic order.
+// mineParallel mines the top-level suffix items with a fixed pool of
+// Parallelism workers pulling ranks from a shared atomic queue, so a heavy
+// suffix item no longer serializes the tail of the run the way the old
+// goroutine-per-item semaphore did. The shared initial tree is read-only in
+// this mode: each worker merges subtree ts-lists instead of relying on the
+// sequential push-up mutation, which yields exactly the same conditional
+// bases (every descendant tail of an item's node belongs to a transaction
+// containing the item). Each rank's partial result has exactly one writer,
+// and partials are merged in deterministic rank order after the pool drains.
 func mineParallel(t *rpTree, o Options, res *Result) {
 	partial := make([]Result, len(t.order))
-	sem := make(chan struct{}, o.Parallelism)
+	workers := o.Parallelism
+	if workers > len(t.order) {
+		workers = len(t.order)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for r := range t.order {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(r int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sub := &partial[r]
-			m := &miner{o: o, res: sub}
-			var ts []int64
-			for n := t.headers[r]; n != nil; n = n.link {
-				ts = appendSubtreeTS(n, ts)
-			}
-			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
-			if len(ts) == 0 {
-				return
-			}
-			item := t.order[r]
-			if o.candidateErec(ts) < o.MinRec {
-				if o.CollectStats {
-					sub.Stats.PatternsPruned++
+			m := &miner{o: o}
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= len(t.order) {
+					return
 				}
-				return
+				m.res = &partial[r]
+				m.mineRank(t, r, nil, 1, true)
+				if m.o.CollectStats && 1 > m.res.Stats.MaxDepth {
+					m.res.Stats.MaxDepth = 1
+				}
+				m.arena.reset(0)
 			}
-			if o.CollectStats {
-				sub.Stats.PatternsExamined++
-			}
-			rec, ipi := Recurrence(ts, o.Per, o.MinPS)
-			beta := []tsdb.ItemID{item}
-			if rec >= o.MinRec {
-				m.emit(beta, len(ts), rec, ipi)
-			}
-			if o.MaxLen == 1 {
-				return
-			}
-			cond := t.conditionalTree(r, o, true)
-			if cond == nil {
-				return
-			}
-			if o.CollectStats {
-				sub.Stats.TreeNodes += cond.nodes
-			}
-			m.mineTree(cond, beta, 2)
-		}(r)
+		}()
 	}
 	wg.Wait()
 	for i := range partial {

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// benchWorkload is a mid-size synthetic workload for the hot-path benchmarks
+// (internal/bench would be an import cycle here): dense enough that
+// conditional trees go several levels deep, with the thresholds scaled so a
+// few hundred patterns survive. Deterministic by construction, so ns/op and
+// allocs/op are comparable across runs; BENCH_core.json tracks them.
+func benchWorkload() (Options, *rpTree) {
+	rng := rand.New(rand.NewPCG(17, 3))
+	db := randomDB(rng, 14, 2000, 0.28)
+	o := Options{Per: 4, MinPS: 3, MinRec: 2}
+	list := BuildRPList(db, o)
+	return o, buildRPTree(db, list)
+}
+
+func BenchmarkBuildRPTree(b *testing.B) {
+	rng := rand.New(rand.NewPCG(17, 3))
+	db := randomDB(rng, 14, 2000, 0.28)
+	o := Options{Per: 4, MinPS: 3, MinRec: 2}
+	list := BuildRPList(db, o)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := buildRPTree(db, list)
+		if tree.nodes == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+func BenchmarkCollectTS(b *testing.B) {
+	_, tree := benchWorkload()
+	var ms mergeScratch
+	// Mix of tail-only collection (fresh tree) and merge-heavy collection
+	// (after push-ups), like a mining run sees.
+	for r := len(tree.order) - 1; r > len(tree.order)/2; r-- {
+		tree.pushUp(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := len(tree.order) / 2; r >= 0; r-- {
+			ts := tree.collectTS(&ms, r, ms.getBuf())
+			if len(ts) == 0 {
+				b.Fatal("empty ts")
+			}
+			ms.putBuf(ts)
+		}
+	}
+}
+
+func BenchmarkConditionalTree(b *testing.B) {
+	o, tree := benchWorkload()
+	var arena nodeArena
+	var ms mergeScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		built := 0
+		for r := len(tree.order) - 1; r >= 1; r-- {
+			mark := arena.mark()
+			if ct := tree.conditionalTree(&arena, &ms, o, r, true); ct != nil {
+				built++
+			}
+			arena.reset(mark)
+		}
+		if built == 0 {
+			b.Fatal("no conditional trees built")
+		}
+	}
+}
+
+func BenchmarkMineEndToEnd(b *testing.B) {
+	rng := rand.New(rand.NewPCG(17, 3))
+	db := randomDB(rng, 14, 2000, 0.28)
+	o := Options{Per: 4, MinPS: 3, MinRec: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Mine(db, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+func BenchmarkMineEndToEndParallel(b *testing.B) {
+	rng := rand.New(rand.NewPCG(17, 3))
+	db := randomDB(rng, 14, 2000, 0.28)
+	o := Options{Per: 4, MinPS: 3, MinRec: 2, Parallelism: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Mine(db, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}

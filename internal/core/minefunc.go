@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -23,51 +21,7 @@ func MineFunc(db *tsdb.DB, o Options, fn func(Pattern) bool) error {
 		return nil
 	}
 	tree := buildRPTree(db, list)
-	m := &funcMiner{o: o, fn: fn}
+	m := &miner{o: o, fn: fn}
 	m.mineTree(tree, nil, 1)
 	return nil
-}
-
-type funcMiner struct {
-	o       Options
-	fn      func(Pattern) bool
-	stopped bool
-}
-
-func (m *funcMiner) mineTree(t *rpTree, suffix []tsdb.ItemID, depth int) {
-	for r := len(t.order) - 1; r >= 0 && !m.stopped; r-- {
-		item := t.order[r]
-		ts := t.collectTS(r, nil)
-		if len(ts) > 0 {
-			m.extend(t, r, item, ts, suffix, depth)
-		}
-		t.pushUp(r)
-	}
-}
-
-func (m *funcMiner) extend(t *rpTree, r int, item tsdb.ItemID, ts []int64, suffix []tsdb.ItemID, depth int) {
-	if m.o.candidateErec(ts) < m.o.MinRec {
-		return
-	}
-	beta := make([]tsdb.ItemID, 0, len(suffix)+1)
-	beta = append(beta, suffix...)
-	beta = append(beta, item)
-	rec, ipi := Recurrence(ts, m.o.Per, m.o.MinPS)
-	if rec >= m.o.MinRec {
-		items := make([]tsdb.ItemID, len(beta))
-		copy(items, beta)
-		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
-		if !m.fn(Pattern{Items: items, Support: len(ts), Recurrence: rec, Intervals: ipi}) {
-			m.stopped = true
-			return
-		}
-	}
-	if m.o.MaxLen > 0 && len(beta) >= m.o.MaxLen {
-		return
-	}
-	cond := t.conditionalTree(r, m.o, false)
-	if cond == nil {
-		return
-	}
-	m.mineTree(cond, beta, depth+1)
 }

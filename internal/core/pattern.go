@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/recurpat/rp/internal/tsdb"
@@ -88,8 +88,8 @@ func (r *Result) MaxLen() int {
 // repository: by pattern length, then lexicographically by item IDs. All
 // miners return canonicalized results so they can be compared directly.
 func (r *Result) Canonicalize() {
-	sort.Slice(r.Patterns, func(i, j int) bool {
-		return comparePatterns(r.Patterns[i].Items, r.Patterns[j].Items) < 0
+	slices.SortFunc(r.Patterns, func(a, b Pattern) int {
+		return comparePatterns(a.Items, b.Items)
 	})
 }
 

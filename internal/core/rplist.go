@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"github.com/recurpat/rp/internal/tsdb"
 )
@@ -104,12 +105,11 @@ func BuildRPList(db *tsdb.DB, o Options) *RPList {
 			})
 		}
 	}
-	sort.Slice(list.Candidates, func(i, j int) bool {
-		a, b := list.Candidates[i], list.Candidates[j]
+	slices.SortFunc(list.Candidates, func(a, b RPListEntry) int {
 		if o.ItemOrder == SupportDescending && a.Support != b.Support {
-			return a.Support > b.Support
+			return b.Support - a.Support
 		}
-		return a.Item < b.Item
+		return cmp.Compare(a.Item, b.Item)
 	})
 	for rank, e := range list.Candidates {
 		list.Rank[e.Item] = rank
@@ -136,6 +136,6 @@ func (l *RPList) Project(dst []tsdb.ItemID, items []tsdb.ItemID) []tsdb.ItemID {
 		}
 	}
 	proj := dst[start:]
-	sort.Slice(proj, func(i, j int) bool { return l.Rank[proj[i]] < l.Rank[proj[j]] })
+	slices.SortFunc(proj, func(a, b tsdb.ItemID) int { return l.Rank[a] - l.Rank[b] })
 	return dst
 }

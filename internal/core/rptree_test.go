@@ -2,7 +2,6 @@ package core
 
 import (
 	"reflect"
-	"sort"
 	"testing"
 
 	"github.com/recurpat/rp/internal/tsdb"
@@ -20,6 +19,7 @@ func buildPaperTree(t *testing.T) (*tsdb.DB, *RPList, *rpTree) {
 
 func TestRPTreeStructurePaperExample(t *testing.T) {
 	db, list, tree := buildPaperTree(t)
+	var ms mergeScratch
 	// Six candidate items -> six header chains.
 	if len(tree.headers) != 6 {
 		t.Fatalf("headers = %d, want 6", len(tree.headers))
@@ -28,20 +28,20 @@ func TestRPTreeStructurePaperExample(t *testing.T) {
 	// recoverable: collecting each item's subtree ts covers exactly the
 	// transactions containing that item.
 	for rank, item := range tree.order {
-		var ts []int64
-		for n := tree.headers[rank]; n != nil; n = n.link {
-			ts = collectSubtreeTS(n, ts)
+		runs := ms.runs[:0]
+		for n := tree.headers[rank]; n != nilNode; n = tree.arena.nodes[n].link {
+			runs = tree.appendSubtreeRuns(runs, n)
 		}
-		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		ms.runs = runs
+		ts := ms.merge(nil)
 		want := db.TSList([]tsdb.ItemID{item})
 		if !reflect.DeepEqual(ts, want) {
 			t.Errorf("item %s subtree ts = %v, want %v", db.Dict.Name(item), ts, want)
 		}
 	}
-	// Figure 5(b): the root has exactly two children in the running
-	// example ('a' and 'c' — every transaction starts with one of them
-	// after projection) plus 'e' for the {5,10} ef-only transactions...
-	// verify against the actual projections instead of hard-coding.
+	// Figure 5(b): the root's children are exactly the distinct leading
+	// items of the candidate projections... verify against the actual
+	// projections instead of hard-coding.
 	roots := map[tsdb.ItemID]bool{}
 	var proj []tsdb.ItemID
 	for _, tr := range db.Trans {
@@ -50,25 +50,38 @@ func TestRPTreeStructurePaperExample(t *testing.T) {
 			roots[proj[0]] = true
 		}
 	}
-	if got := len(tree.root.children); got != len(roots) {
+	got := 0
+	for c := tree.arena.nodes[tree.root].firstChild; c != nilNode; c = tree.arena.nodes[c].nextSibling {
+		got++
+	}
+	if got != len(roots) {
 		t.Errorf("root children = %d, want %d", got, len(roots))
+	}
+	// The dense root index must agree with the sibling list.
+	for rk, ci := range tree.rootByRank {
+		if ci == nilNode {
+			continue
+		}
+		if tree.arena.nodes[ci].rank != int32(rk) || tree.arena.nodes[ci].parent != tree.root {
+			t.Errorf("rootByRank[%d] inconsistent", rk)
+		}
 	}
 }
 
 func TestRPTreeNoSupportCountsOnlyTailTS(t *testing.T) {
 	// Paper Section 4.2.1: only tail nodes carry ts-lists. Count timestamps
 	// across the tree: they must equal |TDB| projections (each transaction
-	// recorded exactly once).
+	// recorded exactly once), and in the freshly built tree every ts-list
+	// must be a single sorted run (transactions arrive in time order).
 	db, _, tree := buildPaperTree(t)
 	total := 0
-	var walk func(n *rpNode)
-	walk = func(n *rpNode) {
+	for i := range tree.arena.nodes {
+		n := &tree.arena.nodes[i]
 		total += len(n.ts)
-		for _, c := range n.children {
-			walk(c)
+		if len(n.runs) != 0 {
+			t.Errorf("node %d has %d run boundaries in a fresh tree", i, len(n.runs))
 		}
 	}
-	walk(tree.root)
 	if total != db.Len() {
 		t.Errorf("tree holds %d timestamps, want %d (one per transaction)", total, db.Len())
 	}
@@ -76,11 +89,12 @@ func TestRPTreeNoSupportCountsOnlyTailTS(t *testing.T) {
 
 func TestCollectTSMatchesScan(t *testing.T) {
 	db, _, tree := buildPaperTree(t)
+	var ms mergeScratch
 	// Before any push-up, the bottom item's collectTS must equal its scan
 	// ts-list (all its nodes are tail nodes).
 	bottomRank := len(tree.order) - 1
 	bottom := tree.order[bottomRank]
-	got := tree.collectTS(bottomRank, nil)
+	got := tree.collectTS(&ms, bottomRank, nil)
 	want := db.TSList([]tsdb.ItemID{bottom})
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("collectTS(%s) = %v, want %v", db.Dict.Name(bottom), got, want)
@@ -91,9 +105,10 @@ func TestPushUpPreservesParentTS(t *testing.T) {
 	// Lemma 3: pushing the bottom item's ts-lists up lets the next item's
 	// collectTS still see every transaction containing it.
 	db, _, tree := buildPaperTree(t)
+	var ms mergeScratch
 	for r := len(tree.order) - 1; r > 0; r-- {
 		tree.pushUp(r)
-		got := tree.collectTS(r-1, nil)
+		got := tree.collectTS(&ms, r-1, nil)
 		want := db.TSList([]tsdb.ItemID{tree.order[r-1]})
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("after pushUp(%d): collectTS(%s) = %v, want %v",
@@ -107,6 +122,8 @@ func TestConditionalTreePaperExample(t *testing.T) {
 	// only item 'e' (the other prefix items fail the Erec check), and the
 	// ts-list of 'e' in it is TS^ef = {3,5,6,10,11,12}.
 	db, _, tree := buildPaperTree(t)
+	var arena nodeArena
+	var ms mergeScratch
 	fID, _ := db.Dict.Lookup("f")
 	fRank := -1
 	for r, it := range tree.order {
@@ -117,7 +134,7 @@ func TestConditionalTreePaperExample(t *testing.T) {
 	if fRank != len(tree.order)-1 {
 		t.Fatalf("f should be the bottom item, got rank %d", fRank)
 	}
-	cond := tree.conditionalTree(fRank, paperOptions(), false)
+	cond := tree.conditionalTree(&arena, &ms, paperOptions(), fRank, false)
 	if cond == nil {
 		t.Fatal("conditional tree for f is empty")
 	}
@@ -129,7 +146,7 @@ func TestConditionalTreePaperExample(t *testing.T) {
 		}
 		t.Fatalf("CT_f items = %v, want [e]", names)
 	}
-	ts := cond.collectTS(0, nil)
+	ts := cond.collectTS(&ms, 0, nil)
 	want := []int64{3, 5, 6, 10, 11, 12}
 	if !reflect.DeepEqual(ts, want) {
 		t.Errorf("TS^ef = %v, want %v", ts, want)
@@ -142,9 +159,11 @@ func TestConditionalTreeSubtreeModeEquivalent(t *testing.T) {
 	// push-up-based one, for the bottom item (where both apply unmodified).
 	_, _, tree1 := buildPaperTree(t)
 	_, _, tree2 := buildPaperTree(t)
+	var a1, a2 nodeArena
+	var ms mergeScratch
 	r := len(tree1.order) - 1
-	seqCT := tree1.conditionalTree(r, paperOptions(), false)
-	parCT := tree2.conditionalTree(r, paperOptions(), true)
+	seqCT := tree1.conditionalTree(&a1, &ms, paperOptions(), r, false)
+	parCT := tree2.conditionalTree(&a2, &ms, paperOptions(), r, true)
 	if (seqCT == nil) != (parCT == nil) {
 		t.Fatalf("one mode produced nil: %v vs %v", seqCT, parCT)
 	}
@@ -155,8 +174,8 @@ func TestConditionalTreeSubtreeModeEquivalent(t *testing.T) {
 		t.Fatalf("orders differ: %v vs %v", seqCT.order, parCT.order)
 	}
 	for rank := range seqCT.order {
-		a := seqCT.collectTS(rank, nil)
-		b := parCT.collectTS(rank, nil)
+		a := seqCT.collectTS(&ms, rank, nil)
+		b := parCT.collectTS(&ms, rank, nil)
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("rank %d ts differ: %v vs %v", rank, a, b)
 		}
@@ -285,5 +304,9 @@ func TestLemma2TreeSizeBound(t *testing.T) {
 	// Prefix sharing should make it strictly smaller here.
 	if tree.nodes >= bound {
 		t.Errorf("no prefix sharing: %d nodes vs bound %d", tree.nodes, bound)
+	}
+	// The slab holds exactly the created nodes plus the root.
+	if len(tree.arena.nodes) != tree.nodes+1 {
+		t.Errorf("slab has %d entries, want %d nodes + 1 root", len(tree.arena.nodes), tree.nodes)
 	}
 }

@@ -1,8 +1,9 @@
 package ext
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/tsdb"
@@ -96,11 +97,11 @@ func MineShifted(db *tsdb.DB, o ShiftOptions) (*core.Result, error) {
 			items = append(items, entry{item: tsdb.ItemID(id), ts: ts})
 		}
 	}
-	sort.Slice(items, func(i, j int) bool {
-		if len(items[i].ts) != len(items[j].ts) {
-			return len(items[i].ts) > len(items[j].ts)
+	slices.SortFunc(items, func(a, b entry) int {
+		if len(a.ts) != len(b.ts) {
+			return len(b.ts) - len(a.ts)
 		}
-		return items[i].item < items[j].item
+		return cmp.Compare(a.item, b.item)
 	})
 
 	var dfs func(prefix []tsdb.ItemID, ts []int64, idx int)
@@ -109,7 +110,7 @@ func MineShifted(db *tsdb.DB, o ShiftOptions) (*core.Result, error) {
 		if rec >= o.MinRec {
 			sorted := make([]tsdb.ItemID, len(prefix))
 			copy(sorted, prefix)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			slices.Sort(sorted)
 			res.Patterns = append(res.Patterns, core.Pattern{
 				Items: sorted, Support: len(ts), Recurrence: rec, Intervals: ipi,
 			})

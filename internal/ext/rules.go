@@ -1,8 +1,9 @@
 package ext
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/tsdb"
@@ -98,23 +99,22 @@ func Rules(db *tsdb.DB, o RuleOptions) ([]Rule, error) {
 			})
 		}
 	}
-	sort.Slice(rules, func(i, j int) bool {
-		a, b := rules[i], rules[j]
+	slices.SortFunc(rules, func(a, b Rule) int {
 		if a.Confidence != b.Confidence {
-			return a.Confidence > b.Confidence
+			return cmp.Compare(b.Confidence, a.Confidence)
 		}
 		if a.Support != b.Support {
-			return a.Support > b.Support
+			return b.Support - a.Support
 		}
 		if len(a.Antecedent) != len(b.Antecedent) {
-			return len(a.Antecedent) < len(b.Antecedent)
+			return len(a.Antecedent) - len(b.Antecedent)
 		}
 		for k := range a.Antecedent {
 			if a.Antecedent[k] != b.Antecedent[k] {
-				return a.Antecedent[k] < b.Antecedent[k]
+				return cmp.Compare(a.Antecedent[k], b.Antecedent[k])
 			}
 		}
-		return a.Consequent < b.Consequent
+		return cmp.Compare(a.Consequent, b.Consequent)
 	})
 	return rules, nil
 }
@@ -177,11 +177,11 @@ func (r *Recommender) Recommend(basket []string, ts int64, limit int) []Recommen
 			Recurrence: rule.Recurrence,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Confidence != out[j].Confidence {
-			return out[i].Confidence > out[j].Confidence
+	slices.SortFunc(out, func(a, b Recommendation) int {
+		if a.Confidence != b.Confidence {
+			return cmp.Compare(b.Confidence, a.Confidence)
 		}
-		return out[i].Item < out[j].Item
+		return cmp.Compare(a.Item, b.Item)
 	})
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]

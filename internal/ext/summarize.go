@@ -1,7 +1,8 @@
 package ext
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/tsdb"
@@ -62,7 +63,7 @@ func filterBySuperset(res *core.Result, suppresses func(sub, super core.Pattern)
 			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return lessCanonical(out[i].Items, out[j].Items) })
+	slices.SortFunc(out, func(a, b core.Pattern) int { return compareCanonical(a.Items, b.Items) })
 	return out
 }
 
@@ -80,14 +81,14 @@ func isSubset(a, b []tsdb.ItemID) bool {
 	return true
 }
 
-func lessCanonical(a, b []tsdb.ItemID) bool {
+func compareCanonical(a, b []tsdb.ItemID) int {
 	if len(a) != len(b) {
-		return len(a) < len(b)
+		return len(a) - len(b)
 	}
 	for i := range a {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			return cmp.Compare(a[i], b[i])
 		}
 	}
-	return false
+	return 0
 }

@@ -1,9 +1,10 @@
 package ext
 
 import (
+	"cmp"
 	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/tsdb"
@@ -40,11 +41,11 @@ func TopK(db *tsdb.DB, per int64, minPS, k int) ([]core.Pattern, error) {
 			items = append(items, entry{item: tsdb.ItemID(id), ts: ts})
 		}
 	}
-	sort.Slice(items, func(i, j int) bool {
-		if len(items[i].ts) != len(items[j].ts) {
-			return len(items[i].ts) > len(items[j].ts)
+	slices.SortFunc(items, func(a, b entry) int {
+		if len(a.ts) != len(b.ts) {
+			return len(b.ts) - len(a.ts)
 		}
-		return items[i].item < items[j].item
+		return cmp.Compare(a.item, b.item)
 	})
 
 	h := &patternHeap{}
@@ -61,7 +62,7 @@ func TopK(db *tsdb.DB, per int64, minPS, k int) ([]core.Pattern, error) {
 		if rec >= threshold() {
 			sorted := make([]tsdb.ItemID, len(prefix))
 			copy(sorted, prefix)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			slices.Sort(sorted)
 			p := core.Pattern{Items: sorted, Support: len(ts), Recurrence: rec, Intervals: ipi}
 			if h.Len() < k {
 				heap.Push(h, p)

@@ -2,7 +2,7 @@ package gen
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/recurpat/rp/internal/tsdb"
 )
@@ -98,7 +98,7 @@ func Quest(c QuestConfig) *tsdb.DB {
 		}
 		// Sort so later rng draws consume in a deterministic order; map
 		// iteration order would otherwise make same-seed runs diverge.
-		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		slices.Sort(items)
 		itemsets[s] = items
 		prev = items
 	}
@@ -155,7 +155,7 @@ func Quest(c QuestConfig) *tsdb.DB {
 			ids = append(ids, id)
 		}
 		// Same-seed byte-identity: map order must not reach the builder.
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 		b.AddIDs(int64(tr), ids...)
 	}
 	return b.Build()

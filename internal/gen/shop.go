@@ -1,7 +1,7 @@
 package gen
 
 import (
-	"sort"
+	"slices"
 
 	"fmt"
 
@@ -142,7 +142,7 @@ func Shop(c ShopConfig) *tsdb.DB {
 			// Map iteration order must not leak into the stored transaction
 			// (tsdb.Builder sorts again, but same-seed byte-identity is this
 			// package's contract, so keep the invariant local).
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			slices.Sort(ids)
 			b.AddIDs(ts, ids...)
 		}
 	}

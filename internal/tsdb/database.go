@@ -1,8 +1,10 @@
 package tsdb
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -89,10 +91,10 @@ func (b *Builder) Build() *DB {
 		for id := range g {
 			items = append(items, id)
 		}
-		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		slices.Sort(items)
 		trans = append(trans, Transaction{TS: ts, Items: items})
 	}
-	sort.Slice(trans, func(i, j int) bool { return trans[i].TS < trans[j].TS })
+	slices.SortFunc(trans, func(a, b Transaction) int { return cmp.Compare(a.TS, b.TS) })
 	return &DB{Dict: b.dict, Trans: trans}
 }
 
@@ -182,7 +184,7 @@ func (db *DB) InternPattern(names []string) ([]ItemID, error) {
 		}
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids, nil
 }
 

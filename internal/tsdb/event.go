@@ -11,8 +11,9 @@
 package tsdb
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // ItemID is a dense integer identifier assigned to an item (event type) by a
@@ -34,11 +35,11 @@ type EventSequence []Event
 // Sort orders the sequence by timestamp, breaking ties by item name so the
 // result is deterministic.
 func (s EventSequence) Sort() {
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].TS != s[j].TS {
-			return s[i].TS < s[j].TS
+	slices.SortFunc(s, func(a, b Event) int {
+		if a.TS != b.TS {
+			return cmp.Compare(a.TS, b.TS)
 		}
-		return s[i].Item < s[j].Item
+		return cmp.Compare(a.Item, b.Item)
 	})
 }
 
@@ -51,7 +52,7 @@ func (s EventSequence) PointSequence(item string) []int64 {
 			ts = append(ts, e.TS)
 		}
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	slices.Sort(ts)
 	return dedupInt64(ts)
 }
 

@@ -1,8 +1,9 @@
 package tsdb
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -73,11 +74,11 @@ func (db *DB) TopItems(n int) []ItemCount {
 			counts = append(counts, ItemCount{Name: db.Dict.Name(ItemID(id)), Support: c})
 		}
 	}
-	sort.Slice(counts, func(i, j int) bool {
-		if counts[i].Support != counts[j].Support {
-			return counts[i].Support > counts[j].Support
+	slices.SortFunc(counts, func(a, b ItemCount) int {
+		if a.Support != b.Support {
+			return b.Support - a.Support
 		}
-		return counts[i].Name < counts[j].Name
+		return cmp.Compare(a.Name, b.Name)
 	})
 	if n < len(counts) {
 		counts = counts[:n]

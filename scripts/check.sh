@@ -18,7 +18,7 @@ fi
 step "go vet"
 go vet ./...
 
-step "rpvet (internal/analysis passes: determinism, errcheck, layering, concurrency)"
+step "rpvet (internal/analysis passes: determinism, errcheck, layering, concurrency, sortslice)"
 go run ./cmd/rpvet ./...
 
 step "go build"
