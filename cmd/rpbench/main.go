@@ -194,6 +194,11 @@ func runOne(exp string, datasets []string, scale float64, seed uint64, from, to,
 				MinPS:  core.MinPSFromPercent(d.DB, d.MinPSPercents[1]),
 				MinRec: 2,
 			}
+			// Same Options.Validate gate (and error text) as every other
+			// entry point, before committing to a long ablation run.
+			if err := o.Validate(); err != nil {
+				return err
+			}
 			rows, err := bench.Ablations(d, o)
 			if err != nil {
 				return err

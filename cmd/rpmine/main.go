@@ -84,6 +84,11 @@ func mine(input string, minPSPct float64, stats, tsv bool, format string, o rp.O
 	if o.MinPS == 0 && minPSPct > 0 {
 		o.MinPS = rp.MinPSFromPercent(db, minPSPct)
 	}
+	// Validate here, once the percentage form is resolved, so bad flags
+	// fail with the same Options.Validate text every entry point reports.
+	if err := o.Validate(); err != nil {
+		return err
+	}
 	if stats {
 		fmt.Fprintln(out, "# db:", rp.ComputeStats(db))
 		fmt.Fprintf(out, "# thresholds: per=%d minPS=%d minRec=%d\n", o.Per, o.MinPS, o.MinRec)

@@ -10,6 +10,13 @@
 //	RECURRING  ts=10080 rec=2 {sev1-linkdown,sev1-bgp-flap}
 //	quiet      ts=12000 rec=0 {sev1-linkdown,sev1-bgp-flap}
 //
+// With -emerging it additionally feeds every transaction into the
+// incremental RP-list accumulator and, at end of stream, prints the items
+// that could still be part of a recurring pattern over everything seen —
+// a cheap way to discover what to -watch next:
+//
+//	emerging: cat22 sup=412 erec=3
+//
 // Example:
 //
 //	rpgen -dataset shop14 -scale 0.1 | rpmonitor -per 360 -minps 30 -window 10080 -watch cat22,cat37
@@ -24,8 +31,8 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/recurpat/rp"
 	"github.com/recurpat/rp/internal/cliio"
-	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/ext"
 )
 
@@ -57,19 +64,29 @@ func run(args []string, in io.Reader, dst io.Writer) error {
 	fs := flag.NewFlagSet("rpmonitor", flag.ContinueOnError)
 	var watch watchList
 	var (
-		per    = fs.Int64("per", 0, "period threshold (required)")
-		minPS  = fs.Int("minps", 0, "minimum periodic support (required)")
-		minRec = fs.Int("minrec", 1, "minimum recurrence")
-		window = fs.Int64("window", 0, "sliding window width in timestamp units (required)")
-		final  = fs.Bool("final", true, "print the patterns recurring at end of stream")
+		per      = fs.Int64("per", 0, "period threshold (required)")
+		minPS    = fs.Int("minps", 0, "minimum periodic support (required)")
+		minRec   = fs.Int("minrec", 1, "minimum recurrence")
+		window   = fs.Int64("window", 0, "sliding window width in timestamp units (required)")
+		final    = fs.Bool("final", true, "print the patterns recurring at end of stream")
+		emerging = fs.Bool("emerging", false, "print the RP-list candidate items over the whole stream at end")
 	)
 	fs.Var(&watch, "watch", "comma-separated pattern to watch (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m, err := ext.NewMonitor(core.Options{Per: *per, MinPS: *minPS, MinRec: *minRec}, *window, watch)
+	o := rp.Options{Per: *per, MinPS: *minPS, MinRec: *minRec}
+	m, err := ext.NewMonitor(o, *window, watch)
 	if err != nil {
 		return err
+	}
+	var feed *incFeed
+	if *emerging {
+		inc, err := rp.NewIncremental(o)
+		if err != nil {
+			return err
+		}
+		feed = &incFeed{inc: inc}
 	}
 
 	sc := bufio.NewScanner(in)
@@ -92,9 +109,15 @@ func run(args []string, in io.Reader, dst io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("line %d: bad timestamp %q", lineNo, tsStr)
 		}
-		alerts, err := m.Observe(ts, strings.Fields(rest)...)
+		items := strings.Fields(rest)
+		alerts, err := m.Observe(ts, items...)
 		if err != nil {
 			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if feed != nil {
+			if err := feed.observe(ts, items); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
 		}
 		for _, a := range alerts {
 			state := "quiet"
@@ -113,5 +136,45 @@ func run(args []string, in io.Reader, dst io.Writer) error {
 			fmt.Fprintf(out, "final: recurring {%s}\n", strings.Join(p, ","))
 		}
 	}
+	if feed != nil {
+		if err := feed.flush(); err != nil {
+			return err
+		}
+		for _, c := range feed.inc.Candidates() {
+			fmt.Fprintf(out, "emerging: %s sup=%d erec=%d\n", c.Item, c.Support, c.Erec)
+		}
+	}
 	return out.Err()
+}
+
+// incFeed buffers consecutive same-timestamp lines into one transaction so
+// the strictly-increasing-timestamp contract of rp.Incremental holds even
+// when the stream emits several lines for one instant (which the monitor
+// itself accepts).
+type incFeed struct {
+	inc   *rp.Incremental
+	ts    int64
+	items []string
+}
+
+func (f *incFeed) observe(ts int64, items []string) error {
+	if len(f.items) > 0 && ts == f.ts {
+		f.items = append(f.items, items...)
+		return nil
+	}
+	if err := f.flush(); err != nil {
+		return err
+	}
+	f.ts = ts
+	f.items = append(f.items[:0], items...)
+	return nil
+}
+
+func (f *incFeed) flush() error {
+	if len(f.items) == 0 {
+		return nil
+	}
+	err := f.inc.Append(f.ts, f.items...)
+	f.items = f.items[:0]
+	return err
 }

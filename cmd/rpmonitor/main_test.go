@@ -41,6 +41,27 @@ func TestMonitorFinalState(t *testing.T) {
 	}
 }
 
+func TestMonitorEmerging(t *testing.T) {
+	// Item a recurs; z appears once and can never reach minPS. The two
+	// same-timestamp lines at ts=3 must fold into one transaction for the
+	// incremental accumulator instead of tripping its strictly-increasing
+	// timestamp contract.
+	in := "1\ta\n2\ta\n3\ta\n3\tz\n4\ta\n"
+	var out bytes.Buffer
+	err := run([]string{"-per", "2", "-minps", "3", "-window", "100",
+		"-watch", "a", "-emerging"}, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "emerging: a sup=4") {
+		t.Errorf("missing emerging candidate a:\n%s", s)
+	}
+	if strings.Contains(s, "emerging: z") {
+		t.Errorf("one-shot item z reported as emerging:\n%s", s)
+	}
+}
+
 func TestMonitorErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-per", "2", "-minps", "3", "-window", "10"},

@@ -1,0 +1,219 @@
+// Command rpserved serves RP-growth mining over HTTP: it loads one or
+// more databases at startup and answers mining requests against them until
+// shut down, with admission control, result caching and metrics (see
+// internal/serve and the README's Serving section).
+//
+// Usage:
+//
+//	rpserved -db shop=shop.tdb [-db web=web.tdb] [flags]
+//	rpserved -dataset shop14:0.05:1 -listen 127.0.0.1:0
+//
+// Databases come from files (-db name=path, either on-disk format) or are
+// generated in-process from the paper's dataset simulators
+// (-dataset name[:scale[:seed]]). The HTTP surface:
+//
+//	POST /v1/mine    {"db":"shop","per":360,"minPS":20,"minRec":2} → patterns
+//	GET  /v1/stats   serving counters, cache state, database inventory
+//	GET  /healthz    liveness; fails once draining begins
+//	GET  /debug/vars expvar, including the rpserved stats payload
+//
+// On SIGINT/SIGTERM the server stops accepting mines, drains the in-flight
+// ones (bounded by -drain-timeout) and exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/recurpat/rp/internal/bench"
+	"github.com/recurpat/rp/internal/cliio"
+	"github.com/recurpat/rp/internal/serve"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rpserved:", err)
+		os.Exit(1)
+	}
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func run(args []string, logDst io.Writer) error {
+	logw := cliio.NewWriter(logDst)
+	fs := flag.NewFlagSet("rpserved", flag.ContinueOnError)
+	var dbSpecs, datasetSpecs multiFlag
+	fs.Var(&dbSpecs, "db", "serve a database file as name=path (repeatable)")
+	fs.Var(&datasetSpecs, "dataset", "serve a generated dataset as name[:scale[:seed]] (repeatable)")
+	var (
+		listen       = fs.String("listen", "127.0.0.1:8080", "address to listen on (:0 picks a free port)")
+		maxConc      = fs.Int("max-concurrent", 0, "max simultaneous mines (0 = GOMAXPROCS)")
+		maxQueue     = fs.Int("max-queue", 0, "max queued mine requests (0 = 4x max-concurrent, <0 = none)")
+		queueTimeout = fs.Duration("queue-timeout", 0, "max wait for a mining slot (0 = 1s, <0 = unbounded)")
+		mineTimeout  = fs.Duration("mine-timeout", 0, "server-side limit per mining run (0 = none)")
+		cacheSize    = fs.Int("cache-size", 0, "result cache entries (0 = 64, <0 = disabled)")
+		maxPar       = fs.Int("max-parallelism", 0, "cap on per-request parallelism (0 = GOMAXPROCS)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight mines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %q (databases are given with -db/-dataset)", fs.Args())
+	}
+
+	dbs, err := loadDatabases(dbSpecs, datasetSpecs)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(serve.Config{
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
+		MineTimeout:    *mineTimeout,
+		CacheSize:      *cacheSize,
+		MaxParallelism: *maxPar,
+	}, dbs)
+	if err != nil {
+		return err
+	}
+	srv.PublishExpvar()
+	for _, name := range sortedNames(dbs) {
+		db := dbs[name]
+		fmt.Fprintf(logw, "rpserved: serving %q: %d transactions, fingerprint %016x\n",
+			name, db.Len(), db.Fingerprint())
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "rpserved: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err // listener failed before any shutdown signal
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+
+	fmt.Fprintln(logw, "rpserved: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(logw, "rpserved: drain incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(logw, "rpserved: stopped")
+	return logw.Err()
+}
+
+// loadDatabases assembles the served name → DB map from file and dataset
+// specs, rejecting duplicate names across both kinds.
+func loadDatabases(dbSpecs, datasetSpecs []string) (map[string]*tsdb.DB, error) {
+	dbs := make(map[string]*tsdb.DB, len(dbSpecs)+len(datasetSpecs))
+	for _, spec := range dbSpecs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return nil, fmt.Errorf("-db %q: want name=path", spec)
+		}
+		if _, dup := dbs[name]; dup {
+			return nil, fmt.Errorf("duplicate database name %q", name)
+		}
+		db, err := readDBFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("-db %s: %w", spec, err)
+		}
+		dbs[name] = db
+	}
+	for _, spec := range datasetSpecs {
+		name, scale, seed, err := parseDatasetSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := dbs[name]; dup {
+			return nil, fmt.Errorf("duplicate database name %q", name)
+		}
+		d, err := bench.Load(name, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		dbs[name] = d.DB
+	}
+	if len(dbs) == 0 {
+		return nil, errors.New("no databases to serve: give at least one -db or -dataset")
+	}
+	return dbs, nil
+}
+
+func readDBFile(path string) (*tsdb.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tsdb.ReadAny(f)
+}
+
+// parseDatasetSpec splits "name[:scale[:seed]]", defaulting to the paper's
+// full scale and seed 1.
+func parseDatasetSpec(spec string) (name string, scale float64, seed uint64, err error) {
+	parts := strings.Split(spec, ":")
+	name, scale, seed = parts[0], 1, 1
+	if name == "" || len(parts) > 3 {
+		return "", 0, 0, fmt.Errorf("-dataset %q: want name[:scale[:seed]]", spec)
+	}
+	if len(parts) > 1 {
+		scale, err = strconv.ParseFloat(parts[1], 64)
+		if err != nil || scale <= 0 {
+			return "", 0, 0, fmt.Errorf("-dataset %q: bad scale %q", spec, parts[1])
+		}
+	}
+	if len(parts) > 2 {
+		seed, err = strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return "", 0, 0, fmt.Errorf("-dataset %q: bad seed %q", spec, parts[2])
+		}
+	}
+	return name, scale, seed, nil
+}
+
+func sortedNames(dbs map[string]*tsdb.DB) []string {
+	names := make([]string, 0, len(dbs))
+	for name := range dbs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/recurpat/rp/internal/serve"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func TestParseDatasetSpec(t *testing.T) {
+	cases := []struct {
+		spec  string
+		name  string
+		scale float64
+		seed  uint64
+		ok    bool
+	}{
+		{"shop14", "shop14", 1, 1, true},
+		{"shop14:0.05", "shop14", 0.05, 1, true},
+		{"twitter:0.5:7", "twitter", 0.5, 7, true},
+		{"", "", 0, 0, false},
+		{"shop14:zero", "", 0, 0, false},
+		{"shop14:1:-2", "", 0, 0, false},
+		{"shop14:1:2:3", "", 0, 0, false},
+		{"shop14:0", "", 0, 0, false},
+	}
+	for _, c := range cases {
+		name, scale, seed, err := parseDatasetSpec(c.spec)
+		if (err == nil) != c.ok {
+			t.Errorf("parseDatasetSpec(%q): err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if c.ok && (name != c.name || scale != c.scale || seed != c.seed) {
+			t.Errorf("parseDatasetSpec(%q) = (%q, %v, %d)", c.spec, name, scale, seed)
+		}
+	}
+}
+
+func writeTestDB(t *testing.T) string {
+	t.Helper()
+	b := tsdb.NewBuilder()
+	for ts := int64(1); ts <= 40; ts += 2 {
+		b.Add("bread", ts)
+		b.Add("jam", ts)
+	}
+	path := filepath.Join(t.TempDir(), "shop.tdb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tsdb.Write(f, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadDatabases(t *testing.T) {
+	path := writeTestDB(t)
+
+	dbs, err := loadDatabases([]string{"shop=" + path}, []string{"shop14:0.02:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbs) != 2 || dbs["shop"] == nil || dbs["shop14"] == nil {
+		t.Fatalf("loaded %d databases: %v", len(dbs), dbs)
+	}
+	if dbs["shop"].Len() != 20 {
+		t.Errorf("shop has %d transactions, want 20", dbs["shop"].Len())
+	}
+
+	for _, bad := range [][2][]string{
+		{{"shop"}, nil},                         // missing =path
+		{{"=x"}, nil},                           // empty name
+		{{"shop=" + path, "shop=" + path}, nil}, // duplicate file name
+		{{"shop14=" + path}, {"shop14"}},        // duplicate across kinds
+		{{"shop=/does/not/exist.tdb"}, nil},     // unreadable file
+		{nil, []string{"unknowndataset"}},       // bench.Load rejects
+		{nil, nil},                              // nothing to serve
+	} {
+		if _, err := loadDatabases(bad[0], bad[1]); err == nil {
+			t.Errorf("loadDatabases(%v, %v) succeeded, want error", bad[0], bad[1])
+		}
+	}
+}
+
+// TestServerWiring loads databases the way main does and checks the
+// resulting handler answers; full process lifecycle (signals, drain) is
+// exercised by scripts/smoke_rpserved.sh.
+func TestServerWiring(t *testing.T) {
+	dbs, err := loadDatabases([]string{"shop=" + writeTestDB(t)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.Config{}, dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/mine", "application/json",
+		strings.NewReader(`{"db":"shop","per":2,"minPS":3,"minRec":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine via loaded db: status %d", resp.StatusCode)
+	}
+}

@@ -1,6 +1,8 @@
 package rp_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"strings"
@@ -71,6 +73,33 @@ func ExampleMine_seasonal() {
 	//   days 1..59 (59 sales)
 	//   days 335..424 (90 sales)
 	//   days 700..730 (31 sales)
+}
+
+// ExampleMineContext shows the cancellation contract of the context-aware
+// entry points: a fired context stops mining at the next subtree-task
+// boundary and the error both matches the context error and unwraps to a
+// *rp.CancelError. An un-fired context behaves exactly like rp.Mine.
+func ExampleMineContext() {
+	b := rp.NewBuilder()
+	for ts := int64(1); ts <= 100; ts++ {
+		b.Add("heartbeat", ts)
+	}
+	db := b.Build()
+	o := rp.Options{Per: 2, MinPS: 3, MinRec: 1}
+
+	// A live context mines normally.
+	patterns, err := rp.MineContext(context.Background(), db, o)
+	fmt.Println(len(patterns), err)
+
+	// A context that is already done stops before any work happens.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = rp.MineContext(ctx, db, o)
+	var cerr *rp.CancelError
+	fmt.Println(errors.Is(err, context.Canceled), errors.As(err, &cerr))
+	// Output:
+	// 1 <nil>
+	// true true
 }
 
 // ExampleMinPSFromPercent converts a paper-style percentage threshold into

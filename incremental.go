@@ -1,0 +1,87 @@
+package rp
+
+import (
+	"context"
+
+	"github.com/recurpat/rp/internal/core"
+)
+
+// Incremental maintains the RP-list statistics of Algorithm 1 over an
+// append-only transaction stream, so the candidate items for any prefix of
+// the stream are available in O(1) per appended item without rescanning
+// history — the online counterpart of batch mining. It is the public,
+// name-resolving face of the core accumulator (mirroring how Pattern
+// resolves ItemIDs): transactions are appended as item names, candidates
+// come back as names.
+//
+// The accumulated transactions are retained, so a full RP-growth run over
+// everything seen so far is available at any point via Mine or
+// MineContext.
+//
+// An Incremental is not safe for concurrent use; callers interleaving
+// Append with Mine from multiple goroutines must synchronize.
+type Incremental struct {
+	inc *core.Incremental
+}
+
+// NewIncremental validates the thresholds with Options.Validate and
+// returns an empty accumulator.
+func NewIncremental(o Options) (*Incremental, error) {
+	inc, err := core.NewIncremental(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Incremental{inc: inc}, nil
+}
+
+// Append adds one transaction. Timestamps must be strictly increasing
+// across calls (the stream is temporally ordered); items may repeat within
+// a call and are deduplicated.
+func (inc *Incremental) Append(ts int64, items ...string) error {
+	return inc.inc.Append(ts, items...)
+}
+
+// Len reports the number of transactions appended so far.
+func (inc *Incremental) Len() int { return inc.inc.Len() }
+
+// CandidateItem is one row of the live RP-list: an item that could still
+// be part of a recurring pattern over the stream seen so far, with its
+// support and its estimated maximum recurrence (the Erec bound).
+type CandidateItem struct {
+	Item    string
+	Support int
+	Erec    int
+}
+
+// Candidates returns the current RP-list snapshot — items whose estimated
+// maximum recurrence reaches MinRec — in support-descending order with
+// names resolved. The accumulator state is not disturbed.
+func (inc *Incremental) Candidates() []CandidateItem {
+	dict := inc.inc.DB().Dict
+	entries := inc.inc.Candidates()
+	out := make([]CandidateItem, len(entries))
+	for i, e := range entries {
+		out[i] = CandidateItem{Item: dict.Name(e.Item), Support: e.Support, Erec: e.Erec}
+	}
+	return out
+}
+
+// DB materializes the accumulated stream as a database. The returned DB
+// aliases internal state and must not be used across subsequent Appends.
+func (inc *Incremental) DB() *DB { return inc.inc.DB() }
+
+// Mine runs RP-growth over everything appended so far and returns the
+// recurring patterns with names resolved, in canonical order.
+func (inc *Incremental) Mine() ([]Pattern, error) {
+	return inc.MineContext(context.Background())
+}
+
+// MineContext is Mine with cancellation (see the package-level
+// MineContext for the cancellation contract).
+func (inc *Incremental) MineContext(ctx context.Context) ([]Pattern, error) {
+	res, err := inc.inc.MineContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return resolve(inc.DB(), res), nil
+}

@@ -93,6 +93,8 @@ func TestFixtureFindsEveryKind(t *testing.T) {
 		"badimport.go:7:2: layering: import of cmd/toolkit: cmd/ packages are leaves",
 		"badimport.go:8:2: layering: import of internal/bench",
 		"fake.go:10:14: layering: baseline packages may only use internal/core's measure API, not core.Mine",
+		"ext/badserve.go:6:8: layering: import of internal/serve: only {cmd/rpserved} may import it",
+		"serve/badimport.go:7:8: layering: import of internal/baseline/fake breaks the layering rules",
 		// concurrency
 		"conc.go:16:46: concurrency: goroutine captures loop variable r",
 		"conc.go:16:4: concurrency: goroutine shares res",
@@ -108,12 +110,14 @@ func TestFixtureFindsEveryKind(t *testing.T) {
 	}
 
 	mustNotContain := []string{
-		"bench.go",        // time.Now there carries //rpvet:allow determinism
-		"PickSeeded",      // explicitly seeded generator is clean
-		"CollectSorted",   // collect-then-sort idiom is clean
-		"FanOutClean",     // parameter passing + mutex + WaitGroup is clean
-		"core.Recurrence", // baseline use of the measure API is allowed
-		"tsdb.go",         // the substrate package is entirely clean
+		"bench.go",             // time.Now there carries //rpvet:allow determinism
+		"PickSeeded",           // explicitly seeded generator is clean
+		"CollectSorted",        // collect-then-sort idiom is clean
+		"FanOutClean",          // parameter passing + mutex + WaitGroup is clean
+		"core.Recurrence",      // baseline use of the measure API is allowed
+		"tsdb.go",              // the substrate package is entirely clean
+		"serve/serve.go",       // serve importing core is within its Allow rule
+		"cmd/rpserved/main.go", // the one importer the serve restriction permits
 	}
 	for _, bad := range mustNotContain {
 		for _, line := range all {

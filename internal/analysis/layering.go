@@ -20,9 +20,15 @@ import (
 //	internal/ext       → internal/core, internal/tsdb, internal/seq
 //	internal/analysis  → nothing internal (stdlib-only by construction)
 //	internal/cliio     → nothing internal
+//	internal/serve     → internal/core, internal/tsdb, internal/cliio
 //	internal/bench     → anything internal except cmd/
 //	rp (module root)   → internal/core, internal/tsdb
 //	examples/, cmd/    → unconstrained (leaves of the DAG)
+//
+// Some packages are additionally restricted on the importer side:
+// internal/serve is the HTTP service's implementation and only
+// cmd/rpserved may import it, so the library surface other code builds on
+// stays the public rp package (and the service can change shape freely).
 //
 // On top of the import edges, internal/baseline packages may reference
 // only internal/core's shared measure API (Recurrence, Erec, ...): the
@@ -53,10 +59,25 @@ var layerRules = []layerRule{
 	{Prefix: "internal/ext", Allow: []string{"internal/core", "internal/tsdb", "internal/seq"}},
 	{Prefix: "internal/analysis", Allow: []string{}},
 	{Prefix: "internal/cliio", Allow: []string{}},
+	{Prefix: "internal/serve", Allow: []string{"internal/core", "internal/tsdb", "internal/cliio"}},
 	{Prefix: "internal/bench", Allow: []string{"internal"}},
 	{Prefix: "", Allow: []string{"internal/core", "internal/tsdb"}}, // module root
 	{Prefix: "examples", Allow: nil},
 	{Prefix: "cmd", Allow: nil},
+}
+
+// importRestriction closes a package to all importers except the listed
+// prefixes (the package's own subpackages are always allowed). It is the
+// converse of layerRule: instead of saying what a package may import, it
+// says who may import the package. Checked on the importer side, on top
+// of — not instead of — the importer's own Allow rule.
+type importRestriction struct {
+	Prefix  string   // the package being protected
+	Allowed []string // importer prefixes that may use it
+}
+
+var importRestrictions = []importRestriction{
+	{Prefix: "internal/serve", Allowed: []string{"cmd/rpserved"}},
 }
 
 // coreMeasureAPI is the part of internal/core the baselines may use: the
@@ -88,6 +109,10 @@ func runLayering(ctx *Context) {
 				ctx.Report(imp.Pos(), "import of %s: cmd/ packages are leaves of the DAG and must not be imported", rel)
 				continue
 			}
+			if r, restricted := matchRestriction(rel); restricted && !importerAllowed(ctx.Pkg.Rel, r) {
+				ctx.Report(imp.Pos(), "import of %s: only {%s} may import it (everything else goes through the public rp package)", rel, strings.Join(r.Allowed, ", "))
+				continue
+			}
 			if rule.Allow == nil {
 				continue
 			}
@@ -99,6 +124,30 @@ func runLayering(ctx *Context) {
 	if strings.HasPrefix(ctx.Pkg.Rel, "internal/baseline") {
 		checkBaselineUses(ctx)
 	}
+}
+
+// matchRestriction returns the restriction protecting rel, if any.
+func matchRestriction(rel string) (importRestriction, bool) {
+	for _, r := range importRestrictions {
+		if rel == r.Prefix || strings.HasPrefix(rel, r.Prefix+"/") {
+			return r, true
+		}
+	}
+	return importRestriction{}, false
+}
+
+// importerAllowed reports whether a package may import into restriction r:
+// the protected package's own subtree always may, plus the listed prefixes.
+func importerAllowed(importer string, r importRestriction) bool {
+	if importer == r.Prefix || strings.HasPrefix(importer, r.Prefix+"/") {
+		return true
+	}
+	for _, a := range r.Allowed {
+		if importer == a || strings.HasPrefix(importer, a+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // matchRule returns the longest-prefix rule for a relative package path.

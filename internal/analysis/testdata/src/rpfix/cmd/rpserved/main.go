@@ -1,0 +1,10 @@
+// Command rpserved is the fixture's allowed importer of internal/serve:
+// the one place the importer restriction permits, so nothing here may be
+// flagged.
+package main
+
+import "example.com/rpfix/internal/serve"
+
+func main() {
+	_ = serve.Handle()
+}

@@ -1,0 +1,9 @@
+// Package ext is the fixture extension layer. Its one file seeds an
+// importer-side violation: internal/serve is restricted to cmd/rpserved,
+// so importing it from here is flagged regardless of ext's own Allow rule.
+package ext
+
+import "example.com/rpfix/internal/serve"
+
+// BadServe leans on the service implementation: flagged.
+func BadServe() { serve.Handle() }

@@ -1,0 +1,12 @@
+package serve
+
+// Seeded layering violation: the service layer reaching sideways into a
+// baseline package, which its Allow rule (core, tsdb, cliio) does not
+// cover.
+
+import "example.com/rpfix/internal/baseline/fake"
+
+// BadCompare drags a baseline into serve: flagged.
+func BadCompare(ts []int64) int {
+	return fake.Compare(ts)
+}

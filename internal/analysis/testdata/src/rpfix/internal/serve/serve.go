@@ -1,0 +1,10 @@
+// Package serve is the fixture service layer: its own imports of core are
+// within its Allow rule, but the package is importer-restricted — only
+// cmd/rpserved may use it, which badserve.go (in bench) violates and
+// cmd/rpserved exercises cleanly.
+package serve
+
+import "example.com/rpfix/internal/core"
+
+// Handle mines on demand; the body only exists to reference core.
+func Handle() *core.Result { return core.Mine() }

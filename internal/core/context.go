@@ -1,0 +1,48 @@
+package core
+
+// Context-aware mining support: the miners observe cancellation at
+// subtree-task granularity — between top-level suffix items and on entry
+// to each conditional tree — never inside the per-node hot loops, so the
+// uncancelled path pays only a nil-channel check (see BENCH_core.json).
+
+// CancelError reports that a mining run was cut short by its context. It
+// wraps the context's error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) work, and carries the partial
+// search-progress counters accumulated before the stop when
+// Options.CollectStats was set (zero otherwise).
+type CancelError struct {
+	// Err is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Err error
+	// Stats holds the partial progress at the moment mining stopped;
+	// populated only when Options.CollectStats is set.
+	Stats MineStats
+}
+
+// Error renders the cancellation with its cause.
+func (e *CancelError) Error() string { return "core: mining cancelled: " + e.Err.Error() }
+
+// Unwrap exposes the context's error to errors.Is / errors.As.
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// checkCancel is the miners' cancellation probe, called once per subtree
+// task (per rank of the tree being mined and on conditional-tree entry).
+// With no context attached (done == nil, the Mine/MineFunc wrappers) it
+// reduces to a nil check. Once the context fires, the miner latches both
+// cancelled and stop so every enclosing mining loop unwinds promptly.
+func (m *miner) checkCancel() bool {
+	if m.done == nil {
+		return false
+	}
+	if m.cancelled {
+		return true
+	}
+	select {
+	case <-m.done:
+		m.cancelled = true
+		m.stop = true
+		return true
+	default:
+		return false
+	}
+}

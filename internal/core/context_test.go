@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// clickstreamDB synthesizes a Shop-14-shaped database without importing
+// internal/gen (core may only depend on tsdb): nTrans transactions over
+// nItems categories with a skewed popularity distribution, so the miner
+// sees many candidate items with non-trivial subtrees — enough work that
+// cancellation promptness is measurable.
+func clickstreamDB(nItems, nTrans, perTrans int, seed uint64) *tsdb.DB {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	b := tsdb.NewBuilder()
+	dict := b.Dict()
+	ids := make([]tsdb.ItemID, nItems)
+	for i := range ids {
+		ids[i] = dict.Intern(string(rune('A'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('0'+i%10)))
+	}
+	ts := int64(0)
+	for t := 0; t < nTrans; t++ {
+		ts += 1 + int64(rng.IntN(2))
+		for k := 0; k < perTrans; k++ {
+			// Quadratic skew: low item indices dominate, giving the
+			// RP-tree heavy shared prefixes and real conditional trees.
+			idx := int(float64(nItems) * rng.Float64() * rng.Float64())
+			if idx >= nItems {
+				idx = nItems - 1
+			}
+			b.AddIDs(ts, ids[idx])
+		}
+	}
+	return b.Build()
+}
+
+// contextTestOptions are thresholds under which clickstreamDB mines a
+// large pattern space (hundreds of ms uncancelled on a typical machine).
+var contextTestOptions = Options{Per: 15, MinPS: 3, MinRec: 1, CollectStats: true}
+
+// TestMineContextCancel proves a cancelled mine returns promptly: the
+// cancelled run must finish in a fraction of the uncancelled mining
+// time, must have made real progress (a mid-run stop, not a pre-start
+// rejection), and must surface ctx.Err() through CancelError.
+func TestMineContextCancel(t *testing.T) {
+	db := clickstreamDB(150, 20000, 12, 1)
+	for _, tc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"sequential", 0},
+		{"parallel", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := contextTestOptions
+			o.Parallelism = tc.parallelism
+
+			start := time.Now()
+			full, err := MineContext(context.Background(), db, o)
+			if err != nil {
+				t.Fatalf("uncancelled MineContext: %v", err)
+			}
+			fullTime := time.Since(start)
+			if len(full.Patterns) < 1000 {
+				t.Fatalf("test database mines only %d patterns; thresholds are miscalibrated", len(full.Patterns))
+			}
+
+			// The database scans that precede pattern growth carry no
+			// cancellation points, so a too-early cancel proves nothing
+			// about mid-mine behaviour; retry with later cancel points
+			// until the stop demonstrably lands inside pattern growth.
+			for _, frac := range []int{6, 4, 3, 2} {
+				cancelAfter := fullTime / time.Duration(frac)
+				ctx, cancel := context.WithTimeout(context.Background(), cancelAfter)
+				start = time.Now()
+				res, err := MineContext(ctx, db, o)
+				cancelledTime := time.Since(start)
+				cancel()
+
+				if res != nil {
+					t.Fatalf("cancelled MineContext returned a result (%d patterns), want nil", len(res.Patterns))
+				}
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("cancelled MineContext error = %v, want DeadlineExceeded", err)
+				}
+				var cerr *CancelError
+				if !errors.As(err, &cerr) {
+					t.Fatalf("cancelled MineContext error %T does not unwrap to *CancelError", err)
+				}
+				if cerr.Stats.PatternsExamined == 0 {
+					continue // cancel fell inside the scans; try later
+				}
+				if cerr.Stats.PatternsExamined >= full.Stats.PatternsExamined {
+					t.Errorf("cancelled run examined all %d patterns; cancellation had no effect", cerr.Stats.PatternsExamined)
+				}
+				// Promptness: stopping at the next task boundary must beat
+				// mining to completion by a clear margin. A miner that
+				// ignores ctx runs the full time regardless of the cancel
+				// point and trips this for the early fractions.
+				if limit := fullTime*3/4 + cancelAfter; cancelledTime > limit {
+					t.Errorf("cancelled at %v, run took %v of a %v full mine (limit %v); cancellation is not prompt",
+						cancelAfter, cancelledTime, fullTime, limit)
+				}
+				return
+			}
+			t.Error("no cancel point landed inside pattern growth; the test database spends too long in its scans")
+		})
+	}
+}
+
+// TestMineContextPreCancelled pins the deterministic fast path: an
+// already-cancelled context never starts mining.
+func TestMineContextPreCancelled(t *testing.T) {
+	db := clickstreamDB(50, 500, 5, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MineContext(ctx, db, contextTestOptions)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("MineContext(cancelled ctx) = (%v, %v), want (nil, Canceled)", res, err)
+	}
+	var cerr *CancelError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("error %T does not unwrap to *CancelError", err)
+	}
+	if cerr.Stats != (MineStats{}) {
+		t.Errorf("pre-start cancellation carries non-zero stats: %+v", cerr.Stats)
+	}
+	if err := MineFuncContext(ctx, db, contextTestOptions, func(Pattern) bool { return true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MineFuncContext(cancelled ctx) error = %v, want Canceled", err)
+	}
+}
+
+// TestMineContextBackgroundMatchesMine pins that the context plumbing is
+// behaviour-neutral when the context never fires.
+func TestMineContextBackgroundMatchesMine(t *testing.T) {
+	db := clickstreamDB(60, 2000, 6, 3)
+	o := Options{Per: 6, MinPS: 4, MinRec: 1}
+	want, err := Mine(db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MineContext(context.Background(), db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Errorf("MineContext(Background) differs from Mine: %d vs %d patterns", len(got.Patterns), len(want.Patterns))
+	}
+}
+
+// TestMineFuncContextCancel proves the streaming miner observes ctx: the
+// callback cancels the context itself after a few deliveries, and mining
+// must stop with a CancelError rather than delivering the full set.
+func TestMineFuncContextCancel(t *testing.T) {
+	db := clickstreamDB(150, 8000, 10, 4)
+	o := Options{Per: 12, MinPS: 3, MinRec: 1}
+	full, err := Mine(db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Patterns) < 100 {
+		t.Fatalf("test database mines only %d patterns; too few to observe a mid-stream stop", len(full.Patterns))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := 0
+	err = MineFuncContext(ctx, db, o, func(Pattern) bool {
+		delivered++
+		if delivered == 10 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("MineFuncContext error = %v, want Canceled", err)
+	}
+	if delivered >= len(full.Patterns) {
+		t.Errorf("callback saw all %d patterns despite cancellation", delivered)
+	}
+
+	// fn returning false is an early stop, not an error.
+	count := 0
+	if err := MineFuncContext(context.Background(), db, o, func(Pattern) bool {
+		count++
+		return count < 5
+	}); err != nil {
+		t.Errorf("early stop via fn returned error: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"slices"
 
@@ -117,4 +118,10 @@ func (inc *Incremental) DB() *tsdb.DB {
 // Mine runs RP-growth over everything appended so far.
 func (inc *Incremental) Mine() (*Result, error) {
 	return Mine(inc.DB(), inc.o)
+}
+
+// MineContext runs RP-growth over everything appended so far, stopping at
+// the next subtree-task boundary if ctx is cancelled (see MineContext).
+func (inc *Incremental) MineContext(ctx context.Context) (*Result, error) {
+	return MineContext(ctx, inc.DB(), inc.o)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -14,9 +15,26 @@ import (
 // and bottom-up pattern growth with Erec pruning enumerates the patterns.
 //
 // The result is canonically ordered (by pattern length, then item IDs).
+// Mine is not cancellable; long-running callers should use MineContext.
 func Mine(db *tsdb.DB, o Options) (*Result, error) {
+	return MineContext(context.Background(), db, o)
+}
+
+// MineContext is Mine with cancellation: when ctx is cancelled (or its
+// deadline passes), mining stops at the next subtree-task boundary — the
+// workers of a parallel run observe ctx between top-level subtree tasks,
+// a sequential run between tree ranks and conditional trees — and a
+// *CancelError wrapping ctx.Err() is returned instead of a result. With
+// Options.CollectStats set, the CancelError carries the partial search
+// statistics accumulated up to the stop.
+//
+// Contexts that can never fire (context.Background) add no per-task cost.
+func MineContext(ctx context.Context, db *tsdb.DB, o Options) (*Result, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &CancelError{Err: err}
 	}
 	res := &Result{}
 	list := BuildRPList(db, o)
@@ -30,11 +48,20 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 	if o.CollectStats {
 		res.Stats.TreeNodes += tree.nodes
 	}
+	cancelled := false
 	if o.Parallelism > 1 {
-		mineParallel(tree, o, res)
+		cancelled = mineParallel(ctx, tree, o, res)
 	} else {
-		m := &miner{o: o, res: res}
+		m := &miner{o: o, res: res, done: ctx.Done()}
 		m.mineTree(tree, nil, 1)
+		cancelled = m.cancelled
+	}
+	if cancelled {
+		cerr := &CancelError{Err: ctx.Err()}
+		if o.CollectStats {
+			cerr.Stats = res.Stats
+		}
+		return nil, cerr
 	}
 	res.Canonicalize()
 	return res, nil
@@ -46,23 +73,31 @@ func Mine(db *tsdb.DB, o Options) (*Result, error) {
 // A miner is single-goroutine state; the parallel mode gives each worker its
 // own and merges their results deterministically afterwards.
 type miner struct {
-	o     Options
-	res   *Result            // accumulating sink (Mine, mineParallel)
-	fn    func(Pattern) bool // streaming sink (MineFunc); stops when false
-	stop  bool               // set once fn returned false
-	arena nodeArena          // conditional-tree slab
-	ms    mergeScratch
+	o         Options
+	res       *Result            // accumulating sink (Mine, mineParallel)
+	fn        func(Pattern) bool // streaming sink (MineFunc); stops when false
+	stop      bool               // set once fn returned false or ctx fired
+	done      <-chan struct{}    // ctx.Done(); nil when not cancellable
+	cancelled bool               // set once done fired (distinguishes fn stop)
+	arena     nodeArena          // conditional-tree slab
+	ms        mergeScratch
 }
 
 // mineTree is Algorithm 4 (RP-growth): process the tree's items bottom-up;
 // for each item, collect the suffix pattern's timestamp list, apply the Erec
 // candidate check, evaluate recurrence (Algorithm 5), recurse into the
 // conditional tree, and push the item's ts-lists up for the next iteration.
+//
+// Cancellation is observed once per rank — task granularity, so the check
+// never runs inside the ts-list merge or tree-walk hot loops.
 func (m *miner) mineTree(t *rpTree, suffix []tsdb.ItemID, depth int) {
 	if m.res != nil && m.o.CollectStats && depth > m.res.Stats.MaxDepth {
 		m.res.Stats.MaxDepth = depth
 	}
 	for r := len(t.order) - 1; r >= 0 && !m.stop; r-- {
+		if m.checkCancel() {
+			return
+		}
 		m.mineRank(t, r, suffix, depth, false)
 		t.pushUp(r)
 	}
@@ -155,26 +190,40 @@ func (m *miner) emit(beta []tsdb.ItemID, support, rec int, ipi []Interval) {
 // bases (every descendant tail of an item's node belongs to a transaction
 // containing the item). Each rank's partial result has exactly one writer,
 // and partials are merged in deterministic rank order after the pool drains.
-func mineParallel(t *rpTree, o Options, res *Result) {
+//
+// Workers observe ctx between subtree tasks (and, via mineTree, between the
+// ranks within one task); once it fires they stop claiming ranks and the
+// pool drains. The cancelled return still carries merged partial stats.
+func mineParallel(ctx context.Context, t *rpTree, o Options, res *Result) (cancelled bool) {
 	partial := make([]Result, len(t.order))
 	workers := o.Parallelism
 	if workers > len(t.order) {
 		workers = len(t.order)
 	}
+	done := ctx.Done()
+	var stopped atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m := &miner{o: o}
+			m := &miner{o: o, done: done}
 			for {
+				if m.checkCancel() {
+					stopped.Store(true)
+					return
+				}
 				r := int(next.Add(1)) - 1
 				if r >= len(t.order) {
 					return
 				}
 				m.res = &partial[r]
 				m.mineRank(t, r, nil, 1, true)
+				if m.cancelled {
+					stopped.Store(true)
+					return
+				}
 				if m.o.CollectStats && 1 > m.res.Stats.MaxDepth {
 					m.res.Stats.MaxDepth = 1
 				}
@@ -192,4 +241,5 @@ func mineParallel(t *rpTree, o Options, res *Result) {
 			res.Stats.MaxDepth = partial[i].Stats.MaxDepth
 		}
 	}
+	return stopped.Load()
 }

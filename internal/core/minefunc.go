@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -11,17 +13,32 @@ import (
 // Mine); returning false from fn stops mining early.
 //
 // MineFunc is always sequential; Options.Parallelism is ignored so the
-// callback never races with itself.
+// callback never races with itself. Long-running callers that need
+// cancellation should use MineFuncContext.
 func MineFunc(db *tsdb.DB, o Options, fn func(Pattern) bool) error {
+	return MineFuncContext(context.Background(), db, o, fn)
+}
+
+// MineFuncContext is MineFunc with cancellation: when ctx is cancelled the
+// miner stops at the next subtree-task boundary and a *CancelError wrapping
+// ctx.Err() is returned. Patterns already delivered to fn stay delivered;
+// an early stop requested by fn returning false is not an error.
+func MineFuncContext(ctx context.Context, db *tsdb.DB, o Options, fn func(Pattern) bool) error {
 	if err := o.Validate(); err != nil {
 		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return &CancelError{Err: err}
 	}
 	list := BuildRPList(db, o)
 	if len(list.Candidates) == 0 {
 		return nil
 	}
 	tree := buildRPTree(db, list)
-	m := &miner{o: o, fn: fn}
+	m := &miner{o: o, fn: fn, done: ctx.Done()}
 	m.mineTree(tree, nil, 1)
+	if m.cancelled {
+		return &CancelError{Err: ctx.Err()}
+	}
 	return nil
 }

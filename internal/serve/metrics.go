@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBounds are the upper bounds of the mining-time histogram buckets;
+// an implicit final bucket catches everything slower. The spacing is
+// decade-wise because mining time spans from sub-millisecond toy requests
+// to multi-second full-scale runs.
+var histBounds = [...]time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// metrics aggregates the serving counters reported by /v1/stats and
+// exported through /debug/vars. Every field is updated atomically; one
+// value is shared by all handler goroutines.
+type metrics struct {
+	requests    atomic.Int64 // POST /v1/mine requests received
+	cacheHits   atomic.Int64 // served straight from the result cache
+	cacheMisses atomic.Int64 // had to consult the single-flight group
+	shed        atomic.Int64 // 429s: admission queue full or wait timed out
+	cancelled   atomic.Int64 // client went away mid-queue or mid-mine
+	timeouts    atomic.Int64 // mines stopped by the server-side deadline
+	errors      atomic.Int64 // other failed requests (bad input, unknown db)
+	mined       atomic.Int64 // mining runs actually executed
+	miningNanos atomic.Int64 // total wall time spent mining
+	hist        [len(histBounds) + 1]atomic.Int64
+}
+
+// observeMineTime records one completed mining run in the histogram.
+func (m *metrics) observeMineTime(d time.Duration) {
+	m.mined.Add(1)
+	m.miningNanos.Add(int64(d))
+	for i, b := range histBounds {
+		if d <= b {
+			m.hist[i].Add(1)
+			return
+		}
+	}
+	m.hist[len(histBounds)].Add(1)
+}
+
+// HistBucket is one mining-time histogram bucket in a stats snapshot.
+type HistBucket struct {
+	// LE is the bucket's inclusive upper bound ("1ms", ..., "+Inf").
+	LE string `json:"le"`
+	// Count is the number of mines that completed within the bound
+	// (non-cumulative: each mine lands in exactly one bucket).
+	Count int64 `json:"count"`
+}
+
+// MetricsSnapshot is a point-in-time copy of the serving counters.
+type MetricsSnapshot struct {
+	Requests      int64        `json:"requests"`
+	CacheHits     int64        `json:"cacheHits"`
+	CacheMisses   int64        `json:"cacheMisses"`
+	Shed          int64        `json:"shed"`
+	Cancelled     int64        `json:"cancelled"`
+	Timeouts      int64        `json:"timeouts"`
+	Errors        int64        `json:"errors"`
+	Mined         int64        `json:"mined"`
+	MiningMSTotal float64      `json:"miningMSTotal"`
+	MiningTime    []HistBucket `json:"miningTime"`
+}
+
+// snapshot copies the counters. Individual loads are atomic but the
+// snapshot as a whole is not; for operational metrics that is fine.
+func (m *metrics) snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Requests:      m.requests.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMisses.Load(),
+		Shed:          m.shed.Load(),
+		Cancelled:     m.cancelled.Load(),
+		Timeouts:      m.timeouts.Load(),
+		Errors:        m.errors.Load(),
+		Mined:         m.mined.Load(),
+		MiningMSTotal: float64(m.miningNanos.Load()) / 1e6,
+	}
+	s.MiningTime = make([]HistBucket, 0, len(m.hist))
+	for i, b := range histBounds {
+		s.MiningTime = append(s.MiningTime, HistBucket{LE: b.String(), Count: m.hist[i].Load()})
+	}
+	s.MiningTime = append(s.MiningTime, HistBucket{LE: "+Inf", Count: m.hist[len(histBounds)].Load()})
+	return s
+}

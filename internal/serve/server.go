@@ -1,0 +1,571 @@
+// Package serve implements the rpserved HTTP mining service: a handler
+// that runs RP-growth over pre-loaded databases on demand, protected by a
+// semaphore-based admission controller, an LRU result cache with
+// single-flight deduplication, per-request cancellation wired through
+// core.MineContext, and graceful drain for shutdown. The package is
+// net/http-only by design — cmd/rpserved adds flags, listening and signal
+// handling, nothing else.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// now is the single clock read-out of the package, used for request timing
+// and histogram observations; the service's outputs stay deterministic in
+// everything but the timing fields.
+func now() time.Time {
+	return time.Now() //rpvet:allow determinism -- serving metrics need wall time
+}
+
+// statusClientClosedRequest is the (nginx-convention) status recorded when
+// the client disconnected or cancelled while its mine was queued or
+// running. The client never sees it; it exists for logs and tests.
+const statusClientClosedRequest = 499
+
+// errDraining reports that the server has begun shutting down and accepts
+// no new mining work.
+var errDraining = errors.New("serve: server is draining")
+
+// Config tunes the service. The zero value is usable: DefaultConfig
+// documents what each zero resolves to.
+type Config struct {
+	// MaxConcurrent caps simultaneously running mines. 0 → GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue caps requests waiting for a mining slot; beyond it requests
+	// are shed with 429. 0 → 4×MaxConcurrent, negative → no queue (shed
+	// immediately when all slots are busy).
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits for a slot
+	// before being shed with 429. 0 → 1s, negative → wait as long as the
+	// client does.
+	QueueTimeout time.Duration
+	// MineTimeout bounds a single mining run; an over-limit run is
+	// cancelled via its context and reported as 503. 0 → unlimited.
+	MineTimeout time.Duration
+	// CacheSize caps the result cache in entries. 0 → 64, negative →
+	// caching disabled.
+	CacheSize int
+	// MaxParallelism caps the per-request Parallelism option (requests
+	// asking for more are clamped, not rejected). 0 → GOMAXPROCS.
+	MaxParallelism int
+}
+
+// withDefaults resolves the zero values documented on Config.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.QueueTimeout < 0 {
+		c.QueueTimeout = 0
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// dbEntry is one served database with its precomputed cache identity.
+type dbEntry struct {
+	name string
+	db   *tsdb.DB
+	fp   uint64
+}
+
+// Server is the mining service. Create with NewServer, mount Handler on an
+// http.Server, and call Drain before exiting.
+type Server struct {
+	cfg     Config
+	dbs     map[string]*dbEntry
+	names   []string // sorted, for deterministic listings
+	adm     *admission
+	cache   *resultCache
+	flight  *flightGroup
+	metrics metrics
+	handler http.Handler
+
+	// mineFn runs one mine; tests substitute stubs to simulate slow or
+	// failing miners without real databases.
+	mineFn func(ctx context.Context, db *tsdb.DB, o core.Options) (*core.Result, error)
+
+	// Drain machinery: beginMine/endMine bracket every mining run (cache
+	// hits excluded — they borrow no resources worth waiting for).
+	drainMu  sync.Mutex
+	draining bool
+	active   int
+	idle     chan struct{} // non-nil while a Drain waits for active==0
+}
+
+// NewServer builds a Server over the given databases (name → DB). At least
+// one database is required.
+func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
+	if len(dbs) == 0 {
+		return nil, errors.New("serve: no databases to serve")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		dbs:    make(map[string]*dbEntry, len(dbs)),
+		adm:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
+		cache:  newResultCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+		mineFn: core.MineContext,
+	}
+	for name, db := range dbs {
+		if name == "" {
+			return nil, errors.New("serve: database name must be non-empty")
+		}
+		s.dbs[name] = &dbEntry{name: name, db: db, fp: db.Fingerprint()}
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.handler = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// PublishExpvar exposes this server's stats payload as the expvar variable
+// "rpserved" (rendered by GET /debug/vars alongside the runtime's
+// memstats). Expvar registration is global and permanent, so this must be
+// called at most once per process; cmd/rpserved calls it, tests do not.
+func (s *Server) PublishExpvar() {
+	expvar.Publish("rpserved", expvar.Func(func() any { return s.statsPayload() }))
+}
+
+// BeginDrain flips the server into draining mode: new mines are refused
+// with 503 and /healthz starts failing, while already-running mines
+// continue. It is the non-blocking half of Drain.
+func (s *Server) BeginDrain() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+}
+
+// Drain begins draining (if BeginDrain hasn't already) and blocks until
+// every in-flight mine has finished or ctx fires. Cache-hit responses and
+// stats reads are not waited for — http.Server.Shutdown covers those.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	if s.active == 0 {
+		s.drainMu.Unlock()
+		return nil
+	}
+	if s.idle == nil {
+		s.idle = make(chan struct{})
+	}
+	idle := s.idle
+	s.drainMu.Unlock()
+
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether BeginDrain or Drain has been called.
+func (s *Server) Draining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// beginMine registers a mining run for drain accounting, refusing when the
+// server is draining.
+func (s *Server) beginMine() error {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	s.active++
+	return nil
+}
+
+func (s *Server) endMine() {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	s.active--
+	if s.active == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+}
+
+// mineRequest is the JSON body of POST /v1/mine. Exactly one of minPS and
+// minPSPercent should be set; minPSPercent is resolved against the target
+// database's size via MinPSFromPercent.
+type mineRequest struct {
+	DB           string  `json:"db"`           // database name; optional when only one is served
+	Per          int64   `json:"per"`          // period threshold
+	MinPS        int     `json:"minPS"`        // absolute minimum periodic support
+	MinPSPercent float64 `json:"minPSPercent"` // minPS as a % of |TDB| (used when minPS is 0)
+	MinRec       int     `json:"minRec"`       // minimum recurrence; defaults to 1
+	MaxLen       int     `json:"maxLen"`       // pattern length cap; 0 = unlimited
+	Parallelism  int     `json:"parallelism"`  // mining parallelism; clamped to MaxParallelism
+	CollectStats bool    `json:"collectStats"` // include search statistics in the response
+}
+
+// apiInterval is the wire form of a periodic interval.
+type apiInterval struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	PS    int   `json:"ps"`
+}
+
+// apiPattern is the wire form of one recurring pattern.
+type apiPattern struct {
+	Items      []string      `json:"items"`
+	Support    int           `json:"support"`
+	Recurrence int           `json:"recurrence"`
+	Intervals  []apiInterval `json:"intervals"`
+}
+
+// mineResponse is the JSON body of a successful POST /v1/mine.
+type mineResponse struct {
+	DB        string          `json:"db"`
+	Count     int             `json:"count"`
+	Cached    bool            `json:"cached"`
+	ElapsedMS float64         `json:"elapsedMS"` // this request's wall time, queueing included
+	MiningMS  float64         `json:"miningMS"`  // the producing mine's wall time (historic on cache hits)
+	Patterns  []apiPattern    `json:"patterns"`
+	Stats     *core.MineStats `json:"stats,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxMineAttempts bounds the follower-retry loop: how many times one
+// request will re-enter the single-flight group after watching a leader
+// get cancelled out from under it.
+const maxMineAttempts = 3
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	start := now()
+	s.metrics.requests.Add(1)
+
+	var req mineRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+
+	ent, status, err := s.lookupDB(req.DB)
+	if err != nil {
+		s.fail(w, status, "%v", err)
+		return
+	}
+
+	o := core.Options{
+		Per:         req.Per,
+		MinPS:       req.MinPS,
+		MinRec:      req.MinRec,
+		MaxLen:      req.MaxLen,
+		Parallelism: req.Parallelism,
+	}
+	if o.MinPS == 0 && req.MinPSPercent > 0 {
+		o.MinPS = core.MinPSFromPercent(ent.db, req.MinPSPercent)
+	}
+	if o.MinRec == 0 {
+		o.MinRec = 1
+	}
+	if o.Parallelism > s.cfg.MaxParallelism {
+		o.Parallelism = s.cfg.MaxParallelism
+	}
+	if err := o.Validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Mine with stats unconditionally (the counters cost nothing next to
+	// the mining itself) so one cached entry serves stats and no-stats
+	// requests alike; the response includes them only on request.
+	o.CollectStats = true
+
+	key := cacheKey{
+		fp:     ent.fp,
+		per:    o.Per,
+		minPS:  o.MinPS,
+		minRec: o.MinRec,
+		maxLen: o.MaxLen,
+		order:  o.ItemOrder,
+	}
+	if v, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		s.writeMineResponse(w, ent, req, v, true, start)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	var (
+		v      *cachedResult
+		mErr   error
+		leader bool
+	)
+	for attempt := 0; attempt < maxMineAttempts; attempt++ {
+		v, mErr, leader = s.flight.do(r.Context(), key, func() (*cachedResult, error) {
+			return s.runMine(r.Context(), ent, o, key)
+		})
+		if mErr == nil {
+			break
+		}
+		// A follower whose leader was cancelled retries while its own
+		// request is still live; one of the retrying followers becomes
+		// the next leader. Shed and drain outcomes are shared as-is.
+		var cerr *core.CancelError
+		if !leader && errors.As(mErr, &cerr) && r.Context().Err() == nil {
+			continue
+		}
+		break
+	}
+
+	switch {
+	case mErr == nil:
+		s.writeMineResponse(w, ent, req, v, !leader, start)
+	case errors.Is(mErr, errShed):
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, mErr.Error())
+	case errors.Is(mErr, errDraining):
+		s.writeError(w, http.StatusServiceUnavailable, mErr.Error())
+	case r.Context().Err() != nil:
+		// The client cancelled or disconnected; it won't read this, but
+		// record the outcome for logs and metrics.
+		s.metrics.cancelled.Add(1)
+		s.writeError(w, statusClientClosedRequest, "client cancelled request")
+	case errors.Is(mErr, context.DeadlineExceeded):
+		s.metrics.timeouts.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("mine exceeded the server-side time limit of %v", s.cfg.MineTimeout))
+	default:
+		s.fail(w, http.StatusInternalServerError, "mining failed: %v", mErr)
+	}
+}
+
+// runMine is the single-flight leader path: drain accounting, admission,
+// the optional server-side deadline, the mine itself, and cache fill.
+func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key cacheKey) (*cachedResult, error) {
+	if err := s.beginMine(); err != nil {
+		return nil, err
+	}
+	defer s.endMine()
+
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+
+	mctx := ctx
+	if s.cfg.MineTimeout > 0 {
+		var cancel context.CancelFunc
+		mctx, cancel = context.WithTimeout(ctx, s.cfg.MineTimeout)
+		defer cancel()
+	}
+
+	begin := now()
+	res, err := s.mineFn(mctx, ent.db, o)
+	if err != nil {
+		return nil, err
+	}
+	d := time.Since(begin)
+	s.metrics.observeMineTime(d)
+
+	v := &cachedResult{
+		patterns: toAPIPatterns(ent.db, res.Patterns),
+		stats:    res.Stats,
+		mineTime: d,
+	}
+	s.cache.put(key, v)
+	return v, nil
+}
+
+func toAPIPatterns(db *tsdb.DB, patterns []core.Pattern) []apiPattern {
+	out := make([]apiPattern, len(patterns))
+	for i, p := range patterns {
+		ivs := make([]apiInterval, len(p.Intervals))
+		for j, iv := range p.Intervals {
+			ivs[j] = apiInterval{Start: iv.Start, End: iv.End, PS: iv.PS}
+		}
+		out[i] = apiPattern{
+			Items:      db.PatternNames(p.Items),
+			Support:    p.Support,
+			Recurrence: p.Recurrence,
+			Intervals:  ivs,
+		}
+	}
+	return out
+}
+
+func (s *Server) writeMineResponse(w http.ResponseWriter, ent *dbEntry, req mineRequest, v *cachedResult, cached bool, start time.Time) {
+	resp := mineResponse{
+		DB:        ent.name,
+		Count:     len(v.patterns),
+		Cached:    cached,
+		ElapsedMS: float64(time.Since(start)) / 1e6,
+		MiningMS:  float64(v.mineTime) / 1e6,
+		Patterns:  v.patterns,
+	}
+	if req.CollectStats {
+		stats := v.stats
+		resp.Stats = &stats
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// lookupDB resolves a request's database name; an empty name is allowed
+// when exactly one database is served.
+func (s *Server) lookupDB(name string) (*dbEntry, int, error) {
+	if name == "" {
+		if len(s.names) == 1 {
+			return s.dbs[s.names[0]], 0, nil
+		}
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("serve: request must name a database (serving %d)", len(s.names))
+	}
+	ent, ok := s.dbs[name]
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("serve: unknown database %q", name)
+	}
+	return ent, 0, nil
+}
+
+// dbInfo describes one served database in /v1/stats.
+type dbInfo struct {
+	Name         string `json:"name"`
+	Fingerprint  string `json:"fingerprint"` // hex, as logged at load time
+	Transactions int    `json:"transactions"`
+	Items        int    `json:"items"`
+	SpanStart    int64  `json:"spanStart"`
+	SpanEnd      int64  `json:"spanEnd"`
+}
+
+// statsResponse is the JSON body of GET /v1/stats.
+type statsResponse struct {
+	Draining   bool            `json:"draining"`
+	InFlight   int             `json:"inFlight"`
+	Queued     int             `json:"queued"`
+	CacheLen   int             `json:"cacheLen"`
+	CacheCap   int             `json:"cacheCap"`
+	Databases  []dbInfo        `json:"databases"`
+	Metrics    MetricsSnapshot `json:"metrics"`
+	Config     configInfo      `json:"config"`
+	GoMaxProcs int             `json:"goMaxProcs"`
+}
+
+// configInfo is the resolved Config, with durations rendered as strings.
+type configInfo struct {
+	MaxConcurrent  int    `json:"maxConcurrent"`
+	MaxQueue       int    `json:"maxQueue"`
+	QueueTimeout   string `json:"queueTimeout"`
+	MineTimeout    string `json:"mineTimeout"`
+	CacheSize      int    `json:"cacheSize"`
+	MaxParallelism int    `json:"maxParallelism"`
+}
+
+func (s *Server) statsPayload() statsResponse {
+	resp := statsResponse{
+		Draining:   s.Draining(),
+		InFlight:   s.adm.inFlight(),
+		Queued:     s.adm.waiting(),
+		CacheLen:   s.cache.len(),
+		CacheCap:   s.cfg.CacheSize,
+		Metrics:    s.metrics.snapshot(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Config: configInfo{
+			MaxConcurrent:  s.cfg.MaxConcurrent,
+			MaxQueue:       s.cfg.MaxQueue,
+			QueueTimeout:   s.cfg.QueueTimeout.String(),
+			MineTimeout:    s.cfg.MineTimeout.String(),
+			CacheSize:      s.cfg.CacheSize,
+			MaxParallelism: s.cfg.MaxParallelism,
+		},
+	}
+	for _, name := range s.names {
+		ent := s.dbs[name]
+		first, last := ent.db.Span()
+		items := 0
+		if ent.db.Dict != nil {
+			items = ent.db.Dict.Len()
+		}
+		resp.Databases = append(resp.Databases, dbInfo{
+			Name:         name,
+			Fingerprint:  fmt.Sprintf("%016x", ent.fp),
+			Transactions: ent.db.Len(),
+			Items:        items,
+			SpanStart:    first,
+			SpanEnd:      last,
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.statsPayload())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = fmt.Fprintln(w, "ok")
+}
+
+// fail writes an error response and counts it in the errors metric; use
+// writeError directly for outcomes with their own counters (shed,
+// cancelled, timeouts).
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.errors.Add(1)
+	s.writeError(w, status, fmt.Sprintf(format, args...))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is already out; an encoding failure here can only
+	// mean the client went away mid-write.
+	_ = enc.Encode(v)
+}

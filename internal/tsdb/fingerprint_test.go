@@ -1,0 +1,53 @@
+package tsdb
+
+import "testing"
+
+type fpRow struct {
+	ts    int64
+	items []string
+}
+
+func fpDB(rows []fpRow) *DB {
+	b := NewBuilder()
+	for _, r := range rows {
+		for _, it := range r.items {
+			b.Add(it, r.ts)
+		}
+	}
+	return b.Build()
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	base := []fpRow{{1, []string{"a", "b"}}, {3, []string{"a"}}, {7, []string{"b", "c"}}}
+
+	db1 := fpDB(base)
+	db2 := fpDB(base)
+	if db1.Fingerprint() != db2.Fingerprint() {
+		t.Error("identical construction produced different fingerprints")
+	}
+	if got, again := db1.Fingerprint(), db1.Fingerprint(); got != again {
+		t.Error("Fingerprint is not deterministic on the same DB")
+	}
+
+	variants := [][]fpRow{
+		base[:2], // fewer transactions
+		{{1, []string{"a", "b"}}, {3, []string{"a"}}, {8, []string{"b", "c"}}},  // shifted ts
+		{{1, []string{"a", "b"}}, {3, []string{"a"}}, {7, []string{"b", "d"}}},  // renamed item
+		{{1, []string{"a", "b"}}, {3, []string{"ab"}}, {7, []string{"b", "c"}}}, // name boundary shift
+	}
+	seen := map[uint64]bool{db1.Fingerprint(): true}
+	for i, rows := range variants {
+		fp := fpDB(rows).Fingerprint()
+		if seen[fp] {
+			t.Errorf("variant %d collides with an earlier fingerprint", i)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestFingerprintEmptyDB(t *testing.T) {
+	// Degenerate databases must hash without panicking, nil dictionary
+	// included.
+	_ = NewBuilder().Build().Fingerprint()
+	_ = (&DB{}).Fingerprint()
+}

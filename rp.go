@@ -28,6 +28,7 @@
 package rp
 
 import (
+	"context"
 	"io"
 
 	"github.com/recurpat/rp/internal/core"
@@ -52,7 +53,17 @@ type (
 
 // Model types, re-exported from the core.
 type (
-	// Options holds the Per / MinPS / MinRec thresholds and execution knobs.
+	// Options holds the Per / MinPS / MinRec thresholds and execution
+	// knobs. Options.Validate reports the first violated constraint; every
+	// entry point (Mine, MineFunc, NewIncremental, the CLIs, rpserved)
+	// validates with it and reports the same error text. The constraints:
+	//
+	//	Field        Constraint        Meaning when violated
+	//	Per          > 0               no inter-arrival time could be periodic
+	//	MinPS        > 0               an empty interval would be interesting
+	//	MinRec       > 0               every pattern would trivially recur
+	//	MaxLen       >= 0              (0 = unlimited pattern length)
+	//	Parallelism  >= 0              (0 or 1 = the sequential algorithm)
 	Options = core.Options
 	// Interval is a periodic interval [Start, End] with periodic support PS.
 	Interval = core.Interval
@@ -60,6 +71,10 @@ type (
 	Result = core.Result
 	// MineStats counts mining work (populated with Options.CollectStats).
 	MineStats = core.MineStats
+	// CancelError is returned by the *Context entry points when mining is
+	// cut short; it unwraps to ctx.Err() and carries partial MineStats
+	// when Options.CollectStats was set.
+	CancelError = core.CancelError
 )
 
 // NewBuilder returns an empty database builder.
@@ -104,9 +119,20 @@ type Pattern struct {
 
 // Mine runs RP-growth on db and returns the recurring patterns with item
 // names resolved, in canonical order (shortest patterns first, then by item
-// ID). Use MineRaw to access ItemID-level results and mining statistics.
+// ID). Use MineRaw to access ItemID-level results and mining statistics,
+// and MineContext when the run must be cancellable.
 func Mine(db *DB, o Options) ([]Pattern, error) {
-	res, err := core.Mine(db, o)
+	return MineContext(context.Background(), db, o)
+}
+
+// MineContext is Mine with cancellation: when ctx is cancelled or its
+// deadline passes, mining stops at the next subtree-task boundary and the
+// returned error is a *CancelError wrapping ctx.Err() — so
+// errors.Is(err, context.Canceled) and errors.As(err, **CancelError) both
+// work, and with Options.CollectStats set the CancelError carries the
+// partial search statistics accumulated before the stop.
+func MineContext(ctx context.Context, db *DB, o Options) ([]Pattern, error) {
+	res, err := core.MineContext(ctx, db, o)
 	if err != nil {
 		return nil, err
 	}
@@ -117,12 +143,25 @@ func Mine(db *DB, o Options) ([]Pattern, error) {
 // MineStats when Options.CollectStats is set.
 func MineRaw(db *DB, o Options) (*Result, error) { return core.Mine(db, o) }
 
+// MineRawContext is MineRaw with cancellation (see MineContext).
+func MineRawContext(ctx context.Context, db *DB, o Options) (*Result, error) {
+	return core.MineContext(ctx, db, o)
+}
+
 // MineFunc streams recurring patterns to fn as they are discovered, with
 // item names resolved; memory stays bounded by the mining structures
 // rather than the result set. Returning false stops mining early. Patterns
 // arrive in discovery order, not the canonical order of Mine.
 func MineFunc(db *DB, o Options, fn func(Pattern) bool) error {
-	return core.MineFunc(db, o, func(p core.Pattern) bool {
+	return MineFuncContext(context.Background(), db, o, fn)
+}
+
+// MineFuncContext is MineFunc with cancellation: when ctx fires, the
+// stream stops at the next subtree-task boundary and a *CancelError
+// wrapping ctx.Err() is returned. Patterns already delivered stay
+// delivered; fn returning false remains an error-free early stop.
+func MineFuncContext(ctx context.Context, db *DB, o Options, fn func(Pattern) bool) error {
+	return core.MineFuncContext(ctx, db, o, func(p core.Pattern) bool {
 		return fn(Pattern{
 			Items:      db.PatternNames(p.Items),
 			Support:    p.Support,

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# smoke_rpserved.sh — end-to-end lifecycle test of the mining service:
+# build, start on an ephemeral port, health-check, mine twice (the second
+# must be a cache hit), verify the stats counters, then SIGTERM and check
+# the drain path exits cleanly. Needs curl; run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/rpgen" ./cmd/rpgen
+go build -o "$workdir/rpserved" ./cmd/rpserved
+
+echo "== generate a small dataset"
+"$workdir/rpgen" -dataset shop14 -scale 0.02 -out "$workdir/shop.tdb"
+
+echo "== start rpserved"
+"$workdir/rpserved" -db shop="$workdir/shop.tdb" -listen 127.0.0.1:0 \
+    >"$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^rpserved: listening on //p' "$workdir/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/serve.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never reported its address"; cat "$workdir/serve.log"; exit 1; }
+echo "   serving on $addr"
+
+echo "== healthz"
+grep -q ok <<<"$(curl -sf "http://$addr/healthz")"
+
+echo "== mine (cold)"
+req='{"db":"shop","per":60,"minPSPercent":2,"minRec":1,"maxLen":2}'
+cold=$(curl -sf "http://$addr/v1/mine" -d "$req")
+grep -q '"cached": false' <<<"$cold" || { echo "first mine was unexpectedly cached: $cold"; exit 1; }
+
+echo "== mine (cached)"
+warm=$(curl -sf "http://$addr/v1/mine" -d "$req")
+grep -q '"cached": true' <<<"$warm" || { echo "second mine missed the cache: $warm"; exit 1; }
+
+echo "== stats record the hit"
+stats=$(curl -sf "http://$addr/v1/stats")
+grep -q '"cacheHits": 1' <<<"$stats" || { echo "stats missing cacheHits=1: $stats"; exit 1; }
+grep -q '"mined": 1' <<<"$stats" || { echo "stats missing mined=1: $stats"; exit 1; }
+
+echo "== expvar is served"
+grep -q '"rpserved"' <<<"$(curl -sf "http://$addr/debug/vars")"
+
+echo "== graceful shutdown"
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "server did not exit after SIGTERM"; cat "$workdir/serve.log"; exit 1
+fi
+wait "$server_pid" 2>/dev/null || { echo "server exited non-zero"; cat "$workdir/serve.log"; exit 1; }
+grep -q "rpserved: stopped" "$workdir/serve.log" || { echo "missing clean-stop log line"; cat "$workdir/serve.log"; exit 1; }
+server_pid=""
+
+echo "== ok"
