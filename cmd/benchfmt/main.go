@@ -9,6 +9,11 @@
 // metric (ns/op, B/op, allocs/op, custom b.ReportMetric units). The JSON is
 // byte-deterministic for identical input: records keep input order and
 // encoding/json sorts metric keys, so committed reports diff cleanly.
+//
+// Rows that carry the phase tracer's "<phase>-ns/op" metrics (the traced
+// core benchmarks, rpbench -json) additionally get a phase-attribution
+// summary appended after the tee, one line per row with each phase's share
+// of ns/op.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/recurpat/rp/internal/bench"
 	"github.com/recurpat/rp/internal/cliio"
 )
 
@@ -30,18 +36,12 @@ func main() {
 	}
 }
 
-// Benchmark is one parsed result line.
-type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// Report is the file benchfmt writes.
-type Report struct {
-	Context    map[string]string `json:"context"`
-	Benchmarks []Benchmark       `json:"benchmarks"`
-}
+// Benchmark and Report are the shapes shared with internal/bench (rpbench
+// -json writes the same report format this tool does).
+type (
+	Benchmark = bench.Benchmark
+	Report    = bench.Report
+)
 
 func run(args []string, src io.Reader, dst io.Writer) error {
 	out := cliio.NewWriter(dst)
@@ -71,6 +71,9 @@ func run(args []string, src io.Reader, dst io.Writer) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
+	// Rows with phase metrics (traced benchmarks) get their attribution
+	// rendered after the tee; untraced runs add nothing.
+	fmt.Fprint(out, bench.FormatPhaseMetrics(report.Benchmarks))
 	if err := out.Err(); err != nil {
 		return err
 	}

@@ -74,3 +74,20 @@ func TestBenchfmtWithoutOutIsPureTee(t *testing.T) {
 		t.Error("pass-through output differs from input")
 	}
 }
+
+func TestBenchfmtRendersPhaseAttribution(t *testing.T) {
+	traced := "BenchmarkMineEndToEndTraced-8 \t 10\t 50000000 ns/op\t 10000000 scan-ns/op\t 35000000 mine-ns/op\t 120.0 mine-count/op\n"
+	var stdout bytes.Buffer
+	if err := run(nil, strings.NewReader(traced), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	s := stdout.String()
+	if !strings.Contains(s, "phase attribution (share of ns/op):") {
+		t.Fatalf("attribution header missing:\n%s", s)
+	}
+	for _, want := range []string{"BenchmarkMineEndToEndTraced-8", "scan 20.0%", "mine 70.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("attribution missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -23,26 +23,29 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
 	"github.com/recurpat/rp/internal/bench"
 	"github.com/recurpat/rp/internal/cliio"
 	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "rpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, dst io.Writer) error {
+func run(args []string, dst, errDst io.Writer) error {
 	// Latch write errors once instead of checking every table print.
 	out := cliio.NewWriter(dst)
 	fs := flag.NewFlagSet("rpbench", flag.ContinueOnError)
@@ -54,8 +57,11 @@ func run(args []string, dst io.Writer) error {
 		to      = fs.Float64("sweep-to", 10, "figure7/9: last minPS percentage")
 		step    = fs.Float64("sweep-step", 1, "figure7/9: minPS percentage step")
 		t8sup   = fs.Float64("table8-sup-pct", 0, "table8: override minSup/minPS percentage (0 = paper values; raise for reduced scales)")
+		t7mult  = fs.Float64("table7-ps-mult", 1, "table7: multiply the paper minPS percentages (raise for reduced scales)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		jsonOut = fs.String("json", "", "trace the timed experiments (table7) and write phase-attributed benchmark rows to this JSON report file")
+		verbose = fs.Bool("v", false, "structured progress logs on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,25 +81,61 @@ func run(args []string, dst io.Writer) error {
 		// "sweep" covers figure7 and figure9 with one set of mining runs.
 		experiments = []string{"table5", "table6", "table7", "table8", "sweep", "figure8", "ablation"}
 	}
-	return cliio.Profile(*cpuProf, *memProf, func() error {
+	logger := obs.NopLogger()
+	if *verbose {
+		logger = obs.NewLogger(errDst, slog.LevelInfo)
+	}
+	var rep *bench.Report
+	if *jsonOut != "" {
+		rep = &bench.Report{Context: map[string]string{
+			"tool":  "rpbench",
+			"scale": fmt.Sprintf("%g", *scale),
+			"seed":  fmt.Sprintf("%d", *seed),
+		}}
+	}
+	err := cliio.Profile(*cpuProf, *memProf, func() error {
 		for _, e := range experiments {
 			start := time.Now() //rpvet:allow determinism — elapsed-time reporting is the point here
 			fmt.Fprintf(out, "== %s (scale %g, seed %d) ==\n", e, *scale, *seed)
-			if err := runOne(e, datasets, *scale, *seed, *from, *to, *step, *t8sup, out); err != nil {
+			logger.Info("experiment start", "experiment", e, "scale", *scale, "seed", *seed)
+			if err := runOne(e, datasets, *scale, *seed, *from, *to, *step, *t8sup, *t7mult, out, logger, rep); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}
-			fmt.Fprintf(out, "-- %s done in %v --\n\n", e, time.Since(start).Round(time.Millisecond))
+			elapsed := time.Since(start)
+			logger.Info("experiment done", "experiment", e, "elapsedMS", float64(elapsed)/1e6)
+			fmt.Fprintf(out, "-- %s done in %v --\n\n", e, elapsed.Round(time.Millisecond))
 		}
 		return out.Err()
 	})
+	if err != nil || rep == nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("-json %s: no timed experiment in %v produced benchmark rows (phase attribution comes from table7)", *jsonOut, experiments)
+	}
+	data, merr := json.MarshalIndent(rep, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	logger.Info("benchmark report written", "path", *jsonOut, "rows", len(rep.Benchmarks))
+	return os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
 }
 
-func runOne(exp string, datasets []string, scale float64, seed uint64, from, to, step, t8sup float64, out *cliio.Writer) error {
-	twitter := func() (*bench.Dataset, error) { return bench.Load("twitter", scale, seed) }
+func runOne(exp string, datasets []string, scale float64, seed uint64, from, to, step, t8sup, t7mult float64, out *cliio.Writer, logger *slog.Logger, rep *bench.Report) error {
+	load := func(name string) (*bench.Dataset, error) {
+		start := time.Now() //rpvet:allow determinism — load-time reporting for -v
+		d, err := bench.Load(name, scale, seed)
+		if err == nil {
+			logger.Info("dataset loaded", "dataset", name,
+				"transactions", d.DB.Len(), "loadMS", float64(time.Since(start))/1e6)
+		}
+		return d, err
+	}
+	twitter := func() (*bench.Dataset, error) { return load("twitter") }
 	switch exp {
 	case "table5":
 		for _, name := range datasets {
-			d, err := bench.Load(name, scale, seed)
+			d, err := load(name)
 			if err != nil {
 				return err
 			}
@@ -116,22 +158,44 @@ func runOne(exp string, datasets []string, scale float64, seed uint64, from, to,
 		fmt.Fprint(out, bench.FormatTable6(rows))
 	case "table7":
 		for _, name := range datasets {
-			d, err := bench.Load(name, scale, seed)
+			d, err := load(name)
 			if err != nil {
 				return err
 			}
-			rows, err := bench.Table7(d)
+			if t7mult != 1 {
+				// Reduced-scale datasets keep full-rate transactions, so
+				// the paper's minPS percentages admit far more mining work
+				// than full-size runs; let smokes raise them.
+				scaled := *d
+				for i, pct := range d.MinPSPercents {
+					scaled.MinPSPercents[i] = pct * t7mult
+				}
+				d = &scaled
+			}
+			if rep == nil {
+				rows, err := bench.Table7(d)
+				if err != nil {
+					return err
+				}
+				fmt.Fprint(out, bench.FormatTable7(rows))
+				continue
+			}
+			// -json: trace every grid cell and keep the benchfmt-shaped
+			// rows with per-phase attribution for the report file.
+			rows, bms, err := bench.Table7Traced(d)
 			if err != nil {
 				return err
 			}
 			fmt.Fprint(out, bench.FormatTable7(rows))
+			fmt.Fprint(out, bench.FormatPhaseMetrics(bms))
+			rep.Benchmarks = append(rep.Benchmarks, bms...)
 		}
 	case "table8":
 		for _, name := range datasets {
 			if name == "t10i4d100k" {
 				continue // the paper compares on Shop-14 and Twitter only
 			}
-			d, err := bench.Load(name, scale, seed)
+			d, err := load(name)
 			if err != nil {
 				return err
 			}
@@ -171,7 +235,7 @@ func runOne(exp string, datasets []string, scale float64, seed uint64, from, to,
 	case "shape":
 		var all []bench.Table5Row
 		for _, name := range datasets {
-			d, err := bench.Load(name, scale, seed)
+			d, err := load(name)
 			if err != nil {
 				return err
 			}
@@ -185,7 +249,7 @@ func runOne(exp string, datasets []string, scale float64, seed uint64, from, to,
 		fmt.Fprint(out, bench.FormatShapeReport(bench.ShapeReport(all)))
 	case "ablation":
 		for _, name := range datasets {
-			d, err := bench.Load(name, scale, seed)
+			d, err := load(name)
 			if err != nil {
 				return err
 			}

@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/recurpat/rp/internal/bench"
 )
 
 // The rpbench smoke tests run at tiny scales with raised sweep thresholds;
@@ -12,7 +18,7 @@ import (
 func TestBenchTable8Smoke(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-scale", "0.05", "-seed", "2", "-dataset", "shop14",
-		"-table8-sup-pct", "3", "table8"}, &out)
+		"-table8-sup-pct", "3", "table8"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +32,7 @@ func TestBenchTable8Smoke(t *testing.T) {
 
 func TestBenchFigure8Smoke(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-scale", "0.05", "-seed", "2", "figure8"}, &out)
+	err := run([]string{"-scale", "0.05", "-seed", "2", "figure8"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +44,7 @@ func TestBenchFigure8Smoke(t *testing.T) {
 func TestBenchFigure7Smoke(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-scale", "0.03", "-seed", "2",
-		"-sweep-from", "15", "-sweep-to", "20", "-sweep-step", "5", "figure7"}, &out)
+		"-sweep-from", "15", "-sweep-to", "20", "-sweep-step", "5", "figure7"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,16 +55,69 @@ func TestBenchFigure7Smoke(t *testing.T) {
 
 func TestBenchArgErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{}, &out); err == nil {
+	if err := run([]string{}, &out, io.Discard); err == nil {
 		t.Error("missing experiment must fail")
 	}
-	if err := run([]string{"nonsense"}, &out); err == nil {
+	if err := run([]string{"nonsense"}, &out, io.Discard); err == nil {
 		t.Error("unknown experiment must fail")
 	}
-	if err := run([]string{"-dataset", "nope", "table5"}, &out); err == nil {
+	if err := run([]string{"-dataset", "nope", "table5"}, &out, io.Discard); err == nil {
 		t.Error("unknown dataset must fail")
 	}
-	if err := run([]string{"-badflag"}, &out); err == nil {
+	if err := run([]string{"-badflag"}, &out, io.Discard); err == nil {
 		t.Error("bad flag must fail")
+	}
+}
+
+func TestBenchTable7JSONPhases(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-scale", "0.02", "-seed", "2", "-dataset", "shop14",
+		"-table7-ps-mult", "25", "-json", jsonPath, "-v", "table7"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "phase attribution") {
+		t.Errorf("output missing the phase attribution block:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "msg=\"experiment done\"") {
+		t.Errorf("verbose log missing experiment line:\n%s", errOut.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid report JSON: %v\n%s", err, data)
+	}
+	if len(rep.Benchmarks) == 0 {
+		t.Fatal("report has no benchmark rows")
+	}
+	for _, bm := range rep.Benchmarks {
+		if !strings.HasPrefix(bm.Name, "Table7/shop14/") {
+			t.Errorf("unexpected row name %q", bm.Name)
+		}
+		if bm.Metrics["ns/op"] <= 0 {
+			t.Errorf("%s: missing ns/op: %v", bm.Name, bm.Metrics)
+		}
+		for _, key := range []string{"scan-ns/op", "tree-build-ns/op", "mine-ns/op", "mine-count/op"} {
+			if _, ok := bm.Metrics[key]; !ok {
+				t.Errorf("%s: missing phase metric %q", bm.Name, key)
+			}
+		}
+	}
+}
+
+func TestBenchJSONWithoutTimedExperiment(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.05", "-seed", "2", "-json", jsonPath, "figure8"}, &out, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "no timed experiment") {
+		t.Fatalf("err = %v, want the no-timed-experiment error", err)
+	}
+	if _, statErr := os.Stat(jsonPath); !os.IsNotExist(statErr) {
+		t.Error("report file created despite no benchmark rows")
 	}
 }

@@ -17,21 +17,23 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 
 	"github.com/recurpat/rp"
 	"github.com/recurpat/rp/internal/cliio"
+	"github.com/recurpat/rp/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "rpmine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, dst io.Writer) error {
+func run(args []string, dst, errDst io.Writer) error {
 	// Latch write errors (broken pipe, full disk) and report them once at
 	// the end instead of checking every print.
 	out := cliio.NewWriter(dst)
@@ -49,25 +51,43 @@ func run(args []string, dst io.Writer) error {
 		format   = fs.String("format", "", "output format: text (default), tsv, json or csv")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		phases   = fs.Bool("phases", false, "print a per-phase time and work breakdown to stderr after mining")
+		verbose  = fs.Bool("v", false, "structured progress logs on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return cliio.Profile(*cpuProf, *memProf, func() error {
-		return mine(*input, *minPSPct, *stats, *tsv, *format, rp.Options{
-			Per:          *per,
-			MinPS:        *minPS,
-			MinRec:       *minRec,
-			MaxLen:       *maxLen,
-			Parallelism:  *parallel,
-			CollectStats: *stats,
-		}, out)
+	logger := obs.NopLogger()
+	if *verbose {
+		logger = obs.NewLogger(errDst, slog.LevelInfo)
+	}
+	o := rp.Options{
+		Per:          *per,
+		MinPS:        *minPS,
+		MinRec:       *minRec,
+		MaxLen:       *maxLen,
+		Parallelism:  *parallel,
+		CollectStats: *stats,
+	}
+	if *phases {
+		o.Trace = rp.NewTrace()
+	}
+	err := cliio.Profile(*cpuProf, *memProf, func() error {
+		return mine(*input, *minPSPct, *stats, *tsv, *format, o, out, logger)
 	})
+	if err == nil && o.Trace != nil {
+		// The phase table goes to stderr so -format json/csv output on
+		// stdout stays machine-readable with -phases on.
+		if _, werr := io.WriteString(errDst, o.Trace.Report().String()); werr != nil {
+			return werr
+		}
+	}
+	return err
 }
 
 // mine loads the database, runs the miner and renders the result; split from
 // run so the profiling wrapper brackets exactly the load-mine-print work.
-func mine(input string, minPSPct float64, stats, tsv bool, format string, o rp.Options, out *cliio.Writer) error {
+func mine(input string, minPSPct float64, stats, tsv bool, format string, o rp.Options, out *cliio.Writer, logger *slog.Logger) error {
 	var r io.Reader = os.Stdin
 	if input != "-" {
 		f, err := os.Open(input)
@@ -77,10 +97,13 @@ func mine(input string, minPSPct float64, stats, tsv bool, format string, o rp.O
 		defer f.Close()
 		r = f
 	}
+	loadStart := obs.Now()
 	db, err := rp.ReadDB(r) // auto-detects text vs binary
 	if err != nil {
 		return err
 	}
+	logger.Info("database loaded", "input", input, "transactions", db.Len(),
+		"loadMS", float64(obs.Since(loadStart))/1e6)
 	if o.MinPS == 0 && minPSPct > 0 {
 		o.MinPS = rp.MinPSFromPercent(db, minPSPct)
 	}
@@ -93,10 +116,14 @@ func mine(input string, minPSPct float64, stats, tsv bool, format string, o rp.O
 		fmt.Fprintln(out, "# db:", rp.ComputeStats(db))
 		fmt.Fprintf(out, "# thresholds: per=%d minPS=%d minRec=%d\n", o.Per, o.MinPS, o.MinRec)
 	}
+	mineStart := obs.Now()
 	res, err := rp.MineRaw(db, o)
 	if err != nil {
 		return err
 	}
+	logger.Info("mining done", "patterns", len(res.Patterns),
+		"per", o.Per, "minPS", o.MinPS, "minRec", o.MinRec,
+		"mineMS", float64(obs.Since(mineStart))/1e6)
 	if stats {
 		fmt.Fprintf(out, "# search: candidates=%d examined=%d pruned=%d treeNodes=%d depth=%d\n",
 			res.Stats.CandidateItems, res.Stats.PatternsExamined, res.Stats.PatternsPruned,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,7 +37,7 @@ func writeInput(t *testing.T) string {
 func TestMinePaperFile(t *testing.T) {
 	path := writeInput(t)
 	var out bytes.Buffer
-	err := run([]string{"-input", path, "-per", "2", "-minps", "3", "-minrec", "2"}, &out)
+	err := run([]string{"-input", path, "-per", "2", "-minps", "3", "-minrec", "2"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestMineTSVAndStats(t *testing.T) {
 	path := writeInput(t)
 	var out bytes.Buffer
 	err := run([]string{"-input", path, "-per", "2", "-minps", "3", "-minrec", "2",
-		"-tsv", "-stats"}, &out)
+		"-tsv", "-stats"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestMinePercentThreshold(t *testing.T) {
 	path := writeInput(t)
 	var out bytes.Buffer
 	// 25% of 12 transactions = 3, same result as -minps 3.
-	err := run([]string{"-input", path, "-per", "2", "-minps-pct", "25", "-minrec", "2"}, &out)
+	err := run([]string{"-input", path, "-per", "2", "-minps-pct", "25", "-minrec", "2"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,13 +83,13 @@ func TestMinePercentThreshold(t *testing.T) {
 func TestMineErrors(t *testing.T) {
 	path := writeInput(t)
 	var out bytes.Buffer
-	if err := run([]string{"-input", "/does/not/exist", "-per", "2", "-minps", "3"}, &out); err == nil {
+	if err := run([]string{"-input", "/does/not/exist", "-per", "2", "-minps", "3"}, &out, io.Discard); err == nil {
 		t.Error("missing file must fail")
 	}
-	if err := run([]string{"-input", path, "-per", "0", "-minps", "3"}, &out); err == nil {
+	if err := run([]string{"-input", path, "-per", "0", "-minps", "3"}, &out, io.Discard); err == nil {
 		t.Error("per=0 must fail")
 	}
-	if err := run([]string{"-badflag"}, &out); err == nil {
+	if err := run([]string{"-badflag"}, &out, io.Discard); err == nil {
 		t.Error("bad flag must fail")
 	}
 }
@@ -97,7 +98,7 @@ func TestMineJSONAndCSVFormats(t *testing.T) {
 	path := writeInput(t)
 	var out bytes.Buffer
 	err := run([]string{"-input", path, "-per", "2", "-minps", "3", "-minrec", "2",
-		"-format", "json"}, &out)
+		"-format", "json"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestMineJSONAndCSVFormats(t *testing.T) {
 
 	out.Reset()
 	err = run([]string{"-input", path, "-per", "2", "-minps", "3", "-minrec", "2",
-		"-format", "csv"}, &out)
+		"-format", "csv"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,37 @@ func TestMineJSONAndCSVFormats(t *testing.T) {
 
 	out.Reset()
 	if err := run([]string{"-input", path, "-per", "2", "-minps", "3",
-		"-format", "nonsense"}, &out); err == nil {
+		"-format", "nonsense"}, &out, io.Discard); err == nil {
 		t.Error("unknown format must fail")
+	}
+}
+
+func TestMinePhasesAndVerbose(t *testing.T) {
+	path := writeInput(t)
+	var out, errOut bytes.Buffer
+	err := run([]string{"-input", path, "-per", "2", "-minps", "3", "-minrec", "2",
+		"-phases", "-v"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern output on stdout is unchanged by the observability flags.
+	if got := len(strings.Split(strings.TrimSpace(out.String()), "\n")); got != 8 {
+		t.Fatalf("got %d patterns, want 8:\n%s", got, out.String())
+	}
+	s := errOut.String()
+	// -v: structured progress lines.
+	for _, want := range []string{"msg=\"database loaded\"", "transactions=12",
+		"msg=\"mining done\"", "patterns=8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("verbose log missing %q:\n%s", want, s)
+		}
+	}
+	// -phases: the phase table with every top-level phase and the coverage
+	// footer.
+	for _, want := range []string{"phase", "scan", "tree-build", "mine",
+		"finalize", "ts-merge", "erec-prune", "phase coverage, 1 run(s)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("phase table missing %q:\n%s", want, s)
+		}
 	}
 }

@@ -14,8 +14,16 @@
 //
 //	POST /v1/mine    {"db":"shop","per":360,"minPS":20,"minRec":2} → patterns
 //	GET  /v1/stats   serving counters, cache state, database inventory
+//	GET  /metrics    Prometheus text exposition (counters, mining and
+//	                 per-phase time histograms, gauges)
 //	GET  /healthz    liveness; fails once draining begins
 //	GET  /debug/vars expvar, including the rpserved stats payload
+//	GET  /debug/pprof/...  net/http/pprof, only with -pprof
+//
+// Every /v1/mine request emits one structured access-log line (log/slog,
+// logfmt) on stderr with a unique request id, the database fingerprint, an
+// options digest, the outcome (ok, cache-hit, shed, cancelled, ...), queue
+// wait and mine time. Request bodies beyond -max-body are rejected with 413.
 //
 // On SIGINT/SIGTERM the server stops accepting mines, drains the in-flight
 // ones (bounded by -drain-timeout) and exits cleanly.
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -39,6 +48,7 @@ import (
 
 	"github.com/recurpat/rp/internal/bench"
 	"github.com/recurpat/rp/internal/cliio"
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/serve"
 	"github.com/recurpat/rp/internal/tsdb"
 )
@@ -74,6 +84,9 @@ func run(args []string, logDst io.Writer) error {
 		cacheSize    = fs.Int("cache-size", 0, "result cache entries (0 = 64, <0 = disabled)")
 		maxPar       = fs.Int("max-parallelism", 0, "cap on per-request parallelism (0 = GOMAXPROCS)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight mines")
+		maxBody      = fs.Int64("max-body", 0, "request body size limit in bytes (0 = 1 MiB, <0 = unlimited)")
+		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		quiet        = fs.Bool("quiet", false, "suppress the per-request access log")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +99,10 @@ func run(args []string, logDst io.Writer) error {
 	if err != nil {
 		return err
 	}
+	logger := obs.NopLogger()
+	if !*quiet {
+		logger = obs.NewLogger(logDst, slog.LevelInfo)
+	}
 	srv, err := serve.NewServer(serve.Config{
 		MaxConcurrent:  *maxConc,
 		MaxQueue:       *maxQueue,
@@ -93,6 +110,9 @@ func run(args []string, logDst io.Writer) error {
 		MineTimeout:    *mineTimeout,
 		CacheSize:      *cacheSize,
 		MaxParallelism: *maxPar,
+		MaxBody:        *maxBody,
+		Logger:         logger,
+		Pprof:          *pprofOn,
 	}, dbs)
 	if err != nil {
 		return err

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/serve"
 	"github.com/recurpat/rp/internal/tsdb"
 )
@@ -116,3 +120,82 @@ func TestServerWiring(t *testing.T) {
 		t.Fatalf("mine via loaded db: status %d", resp.StatusCode)
 	}
 }
+
+// TestObservabilityWiring serves with the same config shape run() builds
+// from -max-body/-pprof and checks the observability surface answers: a
+// Prometheus scrape, an access-log line, a 413 on an oversized body, and
+// the pprof mount.
+func TestObservabilityWiring(t *testing.T) {
+	dbs, err := loadDatabases([]string{"shop=" + writeTestDB(t)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf strings.Builder
+	var mu sync.Mutex
+	logw := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return logBuf.Write(p)
+	})
+	srv, err := serve.NewServer(serve.Config{
+		MaxBody: 128,
+		Logger:  obs.NewLogger(logw, slog.LevelInfo),
+		Pprof:   true,
+	}, dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/mine", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(`{"db":"shop","per":2,"minPS":3,"minRec":1}`); got != http.StatusOK {
+		t.Fatalf("mine: status %d", got)
+	}
+	if got := post(strings.Repeat(" ", 256) + `{"db":"shop","per":2}`); got != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", got)
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"rpserved_mining_seconds_bucket", "rpserved_requests_total 2"} {
+		if !strings.Contains(string(scrape), want) {
+			t.Errorf("metrics scrape missing %q:\n%s", want, scrape)
+		}
+	}
+
+	resp, err = http.Get(hs.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof mount: status %d", resp.StatusCode)
+	}
+
+	mu.Lock()
+	logs := logBuf.String()
+	mu.Unlock()
+	for _, want := range []string{"outcome=ok", "outcome=body-too-large", "id="} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("access log missing %q:\n%s", want, logs)
+		}
+	}
+}
+
+// writerFunc adapts a function to io.Writer for log capture.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

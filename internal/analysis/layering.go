@@ -13,16 +13,17 @@ import (
 // unchanged to test fixture modules):
 //
 //	internal/tsdb      → nothing internal (the shared substrate)
-//	internal/core      → internal/tsdb
+//	internal/obs       → nothing internal (the observability substrate)
+//	internal/core      → internal/tsdb, internal/obs
 //	internal/gen       → internal/tsdb
 //	internal/seq       → internal/tsdb
 //	internal/baseline  → internal/tsdb, internal/core (measure API only)
 //	internal/ext       → internal/core, internal/tsdb, internal/seq
 //	internal/analysis  → nothing internal (stdlib-only by construction)
-//	internal/cliio     → nothing internal
-//	internal/serve     → internal/core, internal/tsdb, internal/cliio
+//	internal/cliio     → internal/obs
+//	internal/serve     → internal/core, internal/tsdb, internal/cliio, internal/obs
 //	internal/bench     → anything internal except cmd/
-//	rp (module root)   → internal/core, internal/tsdb
+//	rp (module root)   → internal/core, internal/tsdb, internal/obs
 //	examples/, cmd/    → unconstrained (leaves of the DAG)
 //
 // Some packages are additionally restricted on the importer side:
@@ -52,16 +53,17 @@ type layerRule struct {
 
 var layerRules = []layerRule{
 	{Prefix: "internal/tsdb", Allow: []string{}},
-	{Prefix: "internal/core", Allow: []string{"internal/tsdb"}},
+	{Prefix: "internal/obs", Allow: []string{}},
+	{Prefix: "internal/core", Allow: []string{"internal/tsdb", "internal/obs"}},
 	{Prefix: "internal/gen", Allow: []string{"internal/tsdb"}},
 	{Prefix: "internal/seq", Allow: []string{"internal/tsdb"}},
 	{Prefix: "internal/baseline", Allow: []string{"internal/tsdb", "internal/core"}},
 	{Prefix: "internal/ext", Allow: []string{"internal/core", "internal/tsdb", "internal/seq"}},
 	{Prefix: "internal/analysis", Allow: []string{}},
-	{Prefix: "internal/cliio", Allow: []string{}},
-	{Prefix: "internal/serve", Allow: []string{"internal/core", "internal/tsdb", "internal/cliio"}},
+	{Prefix: "internal/cliio", Allow: []string{"internal/obs"}},
+	{Prefix: "internal/serve", Allow: []string{"internal/core", "internal/tsdb", "internal/cliio", "internal/obs"}},
 	{Prefix: "internal/bench", Allow: []string{"internal"}},
-	{Prefix: "", Allow: []string{"internal/core", "internal/tsdb"}}, // module root
+	{Prefix: "", Allow: []string{"internal/core", "internal/tsdb", "internal/obs"}}, // module root
 	{Prefix: "examples", Allow: nil},
 	{Prefix: "cmd", Allow: nil},
 }

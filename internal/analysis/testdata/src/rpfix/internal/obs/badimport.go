@@ -1,0 +1,12 @@
+package obs
+
+// Seeded layering violation: the observability substrate must import
+// nothing module-internal (every layer may depend on it, so any internal
+// import risks a cycle).
+
+import "example.com/rpfix/internal/tsdb"
+
+// BadSpan drags the storage substrate into obs: flagged.
+func BadSpan(id tsdb.ItemID) int {
+	return int(id)
+}

@@ -1,0 +1,7 @@
+package obs
+
+// Minimal stand-in for the observability substrate: stdlib-only by the
+// layering rules, importable from every other layer.
+
+// Count is a trivially valid observation helper.
+func Count(n int) int { return n + 1 }

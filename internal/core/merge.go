@@ -1,6 +1,10 @@
 package core
 
-import "slices"
+import (
+	"slices"
+
+	"github.com/recurpat/rp/internal/obs"
+)
 
 // Merge machinery for the RP-tree's timestamp lists. Every ts-list in the
 // tree is a concatenation of sorted runs (tail-node appends arrive in scan
@@ -36,6 +40,12 @@ type mergeScratch struct {
 	keep     []condKeep // items surviving the Erec check
 	condRank []int32    // tree rank -> conditional rank, or nilNode
 	path     []int32    // re-ranked path being inserted
+
+	// lc, when non-nil, is the owning miner's local trace batch: merge
+	// times a ts-merge observation per call and conditionalTree counts
+	// its Erec prunes into it. nil (the untraced default) keeps the hot
+	// path at a single pointer check.
+	lc *obs.Local
 }
 
 // run is a view of one sorted segment of a node's ts-list.
@@ -77,8 +87,19 @@ func appendRunViews(dst []run, ts []int64, runs []int32) []run {
 // merge merges the sorted runs into dst (appended) and resets ms.runs for
 // the next call. The output is the sorted multiset union of the runs —
 // byte-identical to sorting the concatenation, since element order among
-// equal values is irrelevant for int64 keys.
+// equal values is irrelevant for int64 keys. With a trace batch attached,
+// each call records one ts-merge observation with its wall time.
 func (ms *mergeScratch) merge(dst []int64) []int64 {
+	if ms.lc == nil {
+		return ms.mergeRuns(dst)
+	}
+	start := obs.Now()
+	dst = ms.mergeRuns(dst)
+	ms.lc.Observe(obs.PhaseMerge, obs.Since(start), 1)
+	return dst
+}
+
+func (ms *mergeScratch) mergeRuns(dst []int64) []int64 {
 	runs := ms.runs
 	ms.runs = runs[:0]
 	switch len(runs) {

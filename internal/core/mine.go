@@ -5,7 +5,9 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -36,15 +38,20 @@ func MineContext(ctx context.Context, db *tsdb.DB, o Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, &CancelError{Err: err}
 	}
+	defer o.Trace.StartTotal().End()
 	res := &Result{}
+	sp := o.Trace.Start(obs.PhaseScan)
 	list := BuildRPList(db, o)
+	sp.End()
 	if o.CollectStats {
 		res.Stats.CandidateItems = len(list.Candidates)
 	}
 	if len(list.Candidates) == 0 {
 		return res, nil
 	}
+	sp = o.Trace.Start(obs.PhaseTreeBuild)
 	tree := buildRPTree(db, list)
+	sp.End()
 	if o.CollectStats {
 		res.Stats.TreeNodes += tree.nodes
 	}
@@ -52,8 +59,10 @@ func MineContext(ctx context.Context, db *tsdb.DB, o Options) (*Result, error) {
 	if o.Parallelism > 1 {
 		cancelled = mineParallel(ctx, tree, o, res)
 	} else {
-		m := &miner{o: o, res: res, done: ctx.Done()}
+		m := newMiner(o)
+		m.res, m.done = res, ctx.Done()
 		m.mineTree(tree, nil, 1)
+		m.lc.Flush(m.tr)
 		cancelled = m.cancelled
 	}
 	if cancelled {
@@ -63,7 +72,9 @@ func MineContext(ctx context.Context, db *tsdb.DB, o Options) (*Result, error) {
 		}
 		return nil, cerr
 	}
+	sp = o.Trace.Start(obs.PhaseFinalize)
 	res.Canonicalize()
+	sp.End()
 	return res, nil
 }
 
@@ -81,6 +92,24 @@ type miner struct {
 	cancelled bool               // set once done fired (distinguishes fn stop)
 	arena     nodeArena          // conditional-tree slab
 	ms        mergeScratch
+
+	// tr is the run's shared phase tracer (nil when untraced); lc batches
+	// this miner's observations between flushes, which happen once per
+	// top-level subtree task so the atomics stay out of the hot loops.
+	tr *obs.Trace
+	lc obs.Local
+}
+
+// newMiner builds a miner for o, wiring the tracer into the merge scratch
+// (which times ts-list merges and counts conditional-tree prunes) when a
+// trace is attached.
+func newMiner(o Options) *miner {
+	m := &miner{o: o}
+	if o.Trace != nil {
+		m.tr = o.Trace
+		m.ms.lc = &m.lc
+	}
+	return m
 }
 
 // mineTree is Algorithm 4 (RP-growth): process the tree's items bottom-up;
@@ -97,6 +126,16 @@ func (m *miner) mineTree(t *rpTree, suffix []tsdb.ItemID, depth int) {
 	for r := len(t.order) - 1; r >= 0 && !m.stop; r-- {
 		if m.checkCancel() {
 			return
+		}
+		if m.tr != nil && depth == 1 {
+			// Top-level subtree task: attribute its wall time to the
+			// mining phase and publish the batch accumulated during it.
+			start := obs.Now()
+			m.mineRank(t, r, suffix, depth, false)
+			t.pushUp(r)
+			m.lc.Observe(obs.PhaseMine, obs.Since(start), 1)
+			m.lc.Flush(m.tr)
+			continue
 		}
 		m.mineRank(t, r, suffix, depth, false)
 		t.pushUp(r)
@@ -128,6 +167,9 @@ func (m *miner) mineRank(t *rpTree, r int, suffix []tsdb.ItemID, depth int, subt
 	if m.o.candidateErec(ts) < m.o.MinRec {
 		if m.res != nil && m.o.CollectStats {
 			m.res.Stats.PatternsPruned++
+		}
+		if m.tr != nil {
+			m.lc.Observe(obs.PhasePrune, 0, 1)
 		}
 		m.ms.putBuf(ts)
 		return
@@ -208,7 +250,8 @@ func mineParallel(ctx context.Context, t *rpTree, o Options, res *Result) (cance
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m := &miner{o: o, done: done}
+			m := newMiner(o)
+			m.done = done
 			for {
 				if m.checkCancel() {
 					stopped.Store(true)
@@ -219,7 +262,17 @@ func mineParallel(ctx context.Context, t *rpTree, o Options, res *Result) (cance
 					return
 				}
 				m.res = &partial[r]
+				var start time.Time
+				if m.tr != nil {
+					start = obs.Now()
+				}
 				m.mineRank(t, r, nil, 1, true)
+				if m.tr != nil {
+					// One subtree task per rank: time it and publish the
+					// worker's batch (merge times, prune counts) with it.
+					m.lc.Observe(obs.PhaseMine, obs.Since(start), 1)
+					m.lc.Flush(m.tr)
+				}
 				if m.cancelled {
 					stopped.Store(true)
 					return

@@ -3,6 +3,8 @@ package core
 import (
 	"math/rand/v2"
 	"testing"
+
+	"github.com/recurpat/rp/internal/obs"
 )
 
 // benchWorkload is a mid-size synthetic workload for the hot-path benchmarks
@@ -106,5 +108,31 @@ func BenchmarkMineEndToEndParallel(b *testing.B) {
 		if len(res.Patterns) == 0 {
 			b.Fatal("no patterns")
 		}
+	}
+}
+
+// BenchmarkMineEndToEndTraced is BenchmarkMineEndToEnd with a phase trace
+// attached: its ns/op measures the tracing overhead on the same workload
+// (Options.Trace == nil stays the untraced baseline above), and its
+// reported "<phase>-ns/op" / "<phase>-count/op" metrics carry the phase
+// attribution into BENCH_core.json via make bench-core.
+func BenchmarkMineEndToEndTraced(b *testing.B) {
+	rng := rand.New(rand.NewPCG(17, 3))
+	db := randomDB(rng, 14, 2000, 0.28)
+	o := Options{Per: 4, MinPS: 3, MinRec: 2, Trace: obs.NewTrace()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Mine(db, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+	b.StopTimer()
+	for k, v := range o.Trace.Report().BenchMetrics() {
+		b.ReportMetric(v, k)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -30,13 +31,20 @@ func MineFuncContext(ctx context.Context, db *tsdb.DB, o Options, fn func(Patter
 	if err := ctx.Err(); err != nil {
 		return &CancelError{Err: err}
 	}
+	defer o.Trace.StartTotal().End()
+	sp := o.Trace.Start(obs.PhaseScan)
 	list := BuildRPList(db, o)
+	sp.End()
 	if len(list.Candidates) == 0 {
 		return nil
 	}
+	sp = o.Trace.Start(obs.PhaseTreeBuild)
 	tree := buildRPTree(db, list)
-	m := &miner{o: o, fn: fn, done: ctx.Done()}
+	sp.End()
+	m := newMiner(o)
+	m.fn, m.done = fn, ctx.Done()
 	m.mineTree(tree, nil, 1)
+	m.lc.Flush(m.tr)
 	if m.cancelled {
 		return &CancelError{Err: ctx.Err()}
 	}

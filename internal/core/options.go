@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -47,6 +48,14 @@ type Options struct {
 	// lexicographic order exists for the tree-compactness ablation. Output
 	// is identical either way.
 	ItemOrder ItemOrder
+
+	// Trace, when non-nil, receives per-phase wall time and work counts
+	// for the run: the initial scan, tree construction, per-item subtree
+	// mining, ts-list merges and Erec prunes. Observations are batched
+	// per worker and flushed at subtree-task granularity, so tracing adds
+	// no synchronization to the per-node hot loops; a nil Trace costs a
+	// pointer check. Output is identical either way.
+	Trace *obs.Trace
 }
 
 // ItemOrder enumerates RP-tree item orderings.

@@ -3,6 +3,7 @@ package core
 import (
 	"slices"
 
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -415,6 +416,8 @@ func (t *rpTree) conditionalTree(dst *nodeArena, ms *mergeScratch, o Options, r 
 		merged = ms.merge(merged[:0])
 		if o.candidateErec(merged) >= o.MinRec {
 			keep = append(keep, condKeep{item: t.order[pr], sup: sup[pr], trank: int32(pr)})
+		} else if ms.lc != nil {
+			ms.lc.Observe(obs.PhasePrune, 0, 1)
 		}
 	}
 	ms.putBuf(merged)

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/recurpat/rp/internal/obs"
+)
+
+func TestMineTracedMatchesUntraced(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 3))
+	db := randomDB(rng, 14, 2000, 0.28)
+	o := Options{Per: 4, MinPS: 3, MinRec: 2}
+
+	plain, err := Mine(db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Trace = obs.NewTrace()
+	traced, err := Mine(db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Equal(traced) {
+		t.Fatal("tracing changed the mining result")
+	}
+	if len(plain.Patterns) == 0 {
+		t.Fatal("workload produced no patterns; the trace assertions below would be vacuous")
+	}
+
+	r := o.Trace.Report()
+	if r.Runs != 1 || r.TotalNanos <= 0 {
+		t.Fatalf("want one timed run, got runs=%d total=%d", r.Runs, r.TotalNanos)
+	}
+	stats := map[string]obs.PhaseStat{}
+	for _, s := range r.Phases {
+		stats[s.Phase] = s
+	}
+	// Every singleton phase ran once; mining processed one task per
+	// top-level tree rank; merges and prunes happened.
+	for phase, wantCount := range map[string]int64{"scan": 1, "tree-build": 1, "finalize": 1} {
+		if got := stats[phase].Count; got != wantCount {
+			t.Errorf("%s count = %d, want %d", phase, got, wantCount)
+		}
+	}
+	if stats["mine"].Count == 0 || stats["mine"].Nanos <= 0 {
+		t.Errorf("mine phase empty: %+v", stats["mine"])
+	}
+	if stats["ts-merge"].Count == 0 {
+		t.Error("no ts-merge observations on a merge-heavy workload")
+	}
+	if stats["erec-prune"].Count == 0 {
+		t.Error("no erec-prune observations on a pruning workload")
+	}
+	// The top-level phases partition the run: their sum cannot exceed the
+	// total, and on this workload covers the bulk of it.
+	covered := r.CoveredNanos()
+	if covered > r.TotalNanos {
+		t.Errorf("phase times %d exceed the run total %d", covered, r.TotalNanos)
+	}
+	if covered*2 < r.TotalNanos {
+		t.Errorf("phases cover under half the run (%d of %d); the taxonomy is missing something big", covered, r.TotalNanos)
+	}
+	// The nested merge time is contained in the mining phase's.
+	if stats["ts-merge"].Nanos > stats["mine"].Nanos {
+		t.Errorf("ts-merge time %d exceeds enclosing mine time %d", stats["ts-merge"].Nanos, stats["mine"].Nanos)
+	}
+}
+
+// TestMineTracedParallel shares one Trace across the worker pool (the
+// production shape in rpserved) and checks counts are complete; run under
+// -race by make check.
+func TestMineTracedParallel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 3))
+	db := randomDB(rng, 14, 2000, 0.28)
+
+	seq := Options{Per: 4, MinPS: 3, MinRec: 2, Trace: obs.NewTrace()}
+	if _, err := Mine(db, seq); err != nil {
+		t.Fatal(err)
+	}
+	par := Options{Per: 4, MinPS: 3, MinRec: 2, Parallelism: 4, Trace: obs.NewTrace()}
+	res, err := Mine(db, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+
+	sr, pr := seq.Trace.Report(), par.Trace.Report()
+	var sc, pc map[string]int64
+	sc, pc = map[string]int64{}, map[string]int64{}
+	for _, s := range sr.Phases {
+		sc[s.Phase] = s.Count
+	}
+	for _, s := range pr.Phases {
+		pc[s.Phase] = s.Count
+	}
+	// Both modes process one top-level task per initial tree rank.
+	if sc["mine"] != pc["mine"] || pc["mine"] == 0 {
+		t.Errorf("task counts differ: sequential=%d parallel=%d", sc["mine"], pc["mine"])
+	}
+	if pc["ts-merge"] == 0 || pc["erec-prune"] == 0 {
+		t.Errorf("parallel run lost nested counts: %v", pc)
+	}
+	if pr.Runs != 1 {
+		t.Errorf("parallel runs = %d, want 1", pr.Runs)
+	}
+}
+
+// TestMineFuncTraced checks the streaming entry point feeds the same trace
+// machinery.
+func TestMineFuncTraced(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 3))
+	db := randomDB(rng, 14, 2000, 0.28)
+	o := Options{Per: 4, MinPS: 3, MinRec: 2, Trace: obs.NewTrace()}
+	n := 0
+	if err := MineFunc(db, o, func(Pattern) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no patterns streamed")
+	}
+	r := o.Trace.Report()
+	if r.Runs != 1 || r.CoveredNanos() <= 0 {
+		t.Fatalf("stream run not traced: runs=%d covered=%d", r.Runs, r.CoveredNanos())
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// slog plumbing shared by rpserved's access log and the CLIs' -v mode: one
+// place decides the handler shape so every tool logs the same way, and one
+// place mints request IDs so log lines across restarts stay distinguishable.
+
+// NewLogger returns a text-handler slog.Logger writing to w at the given
+// level. Text (logfmt-style key=value) rather than JSON: these logs are
+// read by humans tailing a terminal first and machines second.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NopLogger returns a logger that discards everything, so callers can keep
+// unconditional logger.Info calls instead of nil checks.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// reqBase seeds request IDs with process start time so IDs from different
+// server incarnations do not collide in aggregated logs; reqSeq makes them
+// unique within the process.
+var (
+	reqBase = uint32(time.Now().UnixNano()) //rpvet:allow determinism — request IDs must differ across restarts
+	reqSeq  atomic.Uint64
+)
+
+// RequestID mints a short unique request identifier: a per-process hex
+// prefix and a monotonically increasing sequence number.
+func RequestID() string {
+	return fmt.Sprintf("%08x-%d", reqBase, reqSeq.Add(1))
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) rendering. Deliberately a
+// writer API, not a registry: the callers own their atomics (serve.metrics,
+// Trace) and render a snapshot per scrape, so there is no second source of
+// truth to keep in sync and nothing to register at init time.
+
+// PromWriter renders metric families in Prometheus text exposition format.
+// Families must be written one at a time (all samples of a name together),
+// which the single-method-per-family API enforces naturally. Write errors
+// latch: rendering continues cheaply but Err returns the first failure.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, or nil.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(p.w, format, args...); err != nil {
+		p.err = err
+	}
+}
+
+// header emits the HELP and TYPE lines of a family.
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter writes a counter family with a single unlabelled sample.
+func (p *PromWriter) Counter(name, help string, value float64) {
+	p.header(name, help, "counter")
+	p.printf("%s %s\n", name, formatPromValue(value))
+}
+
+// Gauge writes a gauge family with a single unlabelled sample.
+func (p *PromWriter) Gauge(name, help string, value float64) {
+	p.header(name, help, "gauge")
+	p.printf("%s %s\n", name, formatPromValue(value))
+}
+
+// Histogram writes one histogram family from per-bucket (non-cumulative)
+// counts: buckets[i] holds the observations with value <= bounds[i], and
+// buckets[len(bounds)] the rest. The rendered _bucket series are cumulative
+// with an explicit +Inf bucket, plus the _sum and _count samples, per the
+// exposition format. labels, which may be nil, are applied to every sample.
+func (p *PromWriter) Histogram(name, help string, labels map[string]string, bounds []float64, buckets []int64, sum float64) {
+	p.header(name, help, "histogram")
+	var cum int64
+	for i, b := range bounds {
+		cum += buckets[i]
+		p.printf("%s_bucket%s %d\n", name, formatLabels(labels, "le", formatPromValue(b)), cum)
+	}
+	cum += buckets[len(bounds)]
+	p.printf("%s_bucket%s %d\n", name, formatLabels(labels, "le", "+Inf"), cum)
+	p.printf("%s_sum%s %s\n", name, formatLabels(labels), formatPromValue(sum))
+	p.printf("%s_count%s %d\n", name, formatLabels(labels), cum)
+}
+
+// formatLabels renders a label set (plus optional extra key/value pairs
+// appended last) as {k="v",...}, keys sorted for deterministic output, or
+// the empty string when there are no labels at all.
+func formatLabels(labels map[string]string, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if i > 0 || len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatPromValue renders a float the way Prometheus clients do: integers
+// without an exponent or trailing zeros, everything else in Go's shortest
+// representation.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

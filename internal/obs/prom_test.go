@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestPromGolden pins the exact exposition text for a representative family
+// mix; any formatting drift (spacing, cumulative buckets, label quoting,
+// float rendering) must show up as a diff here before a scraper sees it.
+func TestPromGolden(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("rpserved_requests_total", "Mining requests received.", 42)
+	p.Gauge("rpserved_in_flight", "Mines currently running.", 3)
+	p.Histogram("rpserved_mining_seconds", "Wall time per mining run.", nil,
+		[]float64{0.001, 0.01, 0.1, 1, 10},
+		[]int64{5, 3, 2, 0, 1, 1},
+		12.625)
+	p.Histogram("rpserved_phase_seconds", "Wall time per phase.",
+		map[string]string{"phase": "scan"},
+		[]float64{0.001, 0.01},
+		[]int64{1, 0, 0},
+		0.0005)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# HELP rpserved_requests_total Mining requests received.
+# TYPE rpserved_requests_total counter
+rpserved_requests_total 42
+# HELP rpserved_in_flight Mines currently running.
+# TYPE rpserved_in_flight gauge
+rpserved_in_flight 3
+# HELP rpserved_mining_seconds Wall time per mining run.
+# TYPE rpserved_mining_seconds histogram
+rpserved_mining_seconds_bucket{le="0.001"} 5
+rpserved_mining_seconds_bucket{le="0.01"} 8
+rpserved_mining_seconds_bucket{le="0.1"} 10
+rpserved_mining_seconds_bucket{le="1"} 10
+rpserved_mining_seconds_bucket{le="10"} 11
+rpserved_mining_seconds_bucket{le="+Inf"} 12
+rpserved_mining_seconds_sum 12.625
+rpserved_mining_seconds_count 12
+# HELP rpserved_phase_seconds Wall time per phase.
+# TYPE rpserved_phase_seconds histogram
+rpserved_phase_seconds_bucket{phase="scan",le="0.001"} 1
+rpserved_phase_seconds_bucket{phase="scan",le="0.01"} 1
+rpserved_phase_seconds_bucket{phase="scan",le="+Inf"} 1
+rpserved_phase_seconds_sum{phase="scan"} 0.0005
+rpserved_phase_seconds_count{phase="scan"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition text differs\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// failAfter fails every write past the first n bytes, to exercise error
+// latching.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestPromWriterLatchesErrors(t *testing.T) {
+	p := NewPromWriter(&failAfter{n: 10})
+	p.Counter("a_total", "A.", 1)
+	p.Counter("b_total", "B.", 2)
+	if p.Err() == nil {
+		t.Fatal("expected a latched write error")
+	}
+}
+
+func TestFormatPromValue(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		42:     "42",
+		-3:     "-3",
+		0.0005: "0.0005",
+		12.625: "12.625",
+	}
+	for in, want := range cases {
+		if got := formatPromValue(in); got != want {
+			t.Errorf("formatPromValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

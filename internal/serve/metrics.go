@@ -3,12 +3,16 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"github.com/recurpat/rp/internal/obs"
 )
 
 // histBounds are the upper bounds of the mining-time histogram buckets;
 // an implicit final bucket catches everything slower. The spacing is
 // decade-wise because mining time spans from sub-millisecond toy requests
-// to multi-second full-scale runs.
+// to multi-second full-scale runs. The same bounds serve the per-phase
+// histograms: phases are fractions of mining time, so they need the same
+// dynamic range one decade down, which the sub-millisecond buckets cover.
 var histBounds = [...]time.Duration{
 	time.Millisecond,
 	10 * time.Millisecond,
@@ -17,9 +21,46 @@ var histBounds = [...]time.Duration{
 	10 * time.Second,
 }
 
-// metrics aggregates the serving counters reported by /v1/stats and
-// exported through /debug/vars. Every field is updated atomically; one
-// value is shared by all handler goroutines.
+// histBoundsSeconds is histBounds in the unit Prometheus conventions
+// require for time series (seconds).
+var histBoundsSeconds = func() []float64 {
+	s := make([]float64, len(histBounds))
+	for i, b := range histBounds {
+		s[i] = b.Seconds()
+	}
+	return s
+}()
+
+// durationHist is one wall-time histogram: per-bucket (non-cumulative)
+// counts plus the total observed time, all updated atomically.
+type durationHist struct {
+	buckets [len(histBounds) + 1]atomic.Int64
+	nanos   atomic.Int64
+}
+
+func (h *durationHist) observe(d time.Duration) {
+	h.nanos.Add(int64(d))
+	for i, b := range histBounds {
+		if d <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(histBounds)].Add(1)
+}
+
+// snapshot copies the bucket counts.
+func (h *durationHist) snapshot() (buckets [len(histBounds) + 1]int64, nanos int64) {
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.nanos.Load()
+}
+
+// metrics aggregates the serving counters reported by /v1/stats, exported
+// through /debug/vars, and rendered as Prometheus text by /metrics. Every
+// field is updated atomically; one value is shared by all handler
+// goroutines.
 type metrics struct {
 	requests    atomic.Int64 // POST /v1/mine requests received
 	cacheHits   atomic.Int64 // served straight from the result cache
@@ -27,32 +68,58 @@ type metrics struct {
 	shed        atomic.Int64 // 429s: admission queue full or wait timed out
 	cancelled   atomic.Int64 // client went away mid-queue or mid-mine
 	timeouts    atomic.Int64 // mines stopped by the server-side deadline
-	errors      atomic.Int64 // other failed requests (bad input, unknown db)
+	errors      atomic.Int64 // other failed requests (bad input, unknown db, oversized body)
 	mined       atomic.Int64 // mining runs actually executed
-	miningNanos atomic.Int64 // total wall time spent mining
-	hist        [len(histBounds) + 1]atomic.Int64
+	mining      durationHist // wall time per executed mining run
+
+	// phases histograms the per-phase wall time of every executed mine,
+	// one histogram per algorithm phase of the tracer's taxonomy. Nested
+	// phases (ts-merge) record their aggregate time per run like the
+	// others; count-only phases (erec-prune) stay at zero and are elided
+	// from the exposition.
+	phases [obs.NumPhases]durationHist
 }
 
 // observeMineTime records one completed mining run in the histogram.
 func (m *metrics) observeMineTime(d time.Duration) {
 	m.mined.Add(1)
-	m.miningNanos.Add(int64(d))
-	for i, b := range histBounds {
-		if d <= b {
-			m.hist[i].Add(1)
-			return
+	m.mining.observe(d)
+}
+
+// observeTrace folds one run's phase report into the per-phase histograms.
+func (m *metrics) observeTrace(r obs.PhaseReport) {
+	for i, s := range r.Phases {
+		if i >= len(m.phases) {
+			break
+		}
+		if s.Nanos > 0 {
+			m.phases[i].observe(time.Duration(s.Nanos))
 		}
 	}
-	m.hist[len(histBounds)].Add(1)
 }
 
 // HistBucket is one mining-time histogram bucket in a stats snapshot.
 type HistBucket struct {
-	// LE is the bucket's inclusive upper bound ("1ms", ..., "+Inf").
+	// LE is the bucket's inclusive upper bound rendered as a duration
+	// ("1ms", ..., "+Inf").
 	LE string `json:"le"`
+	// LENanos is the same bound in nanoseconds, so the JSON is
+	// interpretable without parsing duration strings; -1 marks the
+	// catch-all +Inf bucket.
+	LENanos int64 `json:"leNanos"`
 	// Count is the number of mines that completed within the bound
 	// (non-cumulative: each mine lands in exactly one bucket).
 	Count int64 `json:"count"`
+}
+
+// histSnapshot renders a durationHist's buckets with their bounds.
+func histSnapshot(h *durationHist) []HistBucket {
+	buckets, _ := h.snapshot()
+	out := make([]HistBucket, 0, len(buckets))
+	for i, b := range histBounds {
+		out = append(out, HistBucket{LE: b.String(), LENanos: int64(b), Count: buckets[i]})
+	}
+	return append(out, HistBucket{LE: "+Inf", LENanos: -1, Count: buckets[len(histBounds)]})
 }
 
 // MetricsSnapshot is a point-in-time copy of the serving counters.
@@ -72,7 +139,7 @@ type MetricsSnapshot struct {
 // snapshot copies the counters. Individual loads are atomic but the
 // snapshot as a whole is not; for operational metrics that is fine.
 func (m *metrics) snapshot() MetricsSnapshot {
-	s := MetricsSnapshot{
+	return MetricsSnapshot{
 		Requests:      m.requests.Load(),
 		CacheHits:     m.cacheHits.Load(),
 		CacheMisses:   m.cacheMisses.Load(),
@@ -81,12 +148,38 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Timeouts:      m.timeouts.Load(),
 		Errors:        m.errors.Load(),
 		Mined:         m.mined.Load(),
-		MiningMSTotal: float64(m.miningNanos.Load()) / 1e6,
+		MiningMSTotal: float64(m.mining.nanos.Load()) / 1e6,
+		MiningTime:    histSnapshot(&m.mining),
 	}
-	s.MiningTime = make([]HistBucket, 0, len(m.hist))
-	for i, b := range histBounds {
-		s.MiningTime = append(s.MiningTime, HistBucket{LE: b.String(), Count: m.hist[i].Load()})
+}
+
+// writeProm renders the counters and histograms in Prometheus text
+// exposition format. Gauges that live on the Server (in-flight, queue
+// depth, cache size, drain state) are appended by the /metrics handler.
+func (m *metrics) writeProm(p *obs.PromWriter) {
+	p.Counter("rpserved_requests_total", "Mining requests received.", float64(m.requests.Load()))
+	p.Counter("rpserved_cache_hits_total", "Requests served from the result cache.", float64(m.cacheHits.Load()))
+	p.Counter("rpserved_cache_misses_total", "Requests that consulted the single-flight group.", float64(m.cacheMisses.Load()))
+	p.Counter("rpserved_shed_total", "Requests shed by admission control (429).", float64(m.shed.Load()))
+	p.Counter("rpserved_cancelled_total", "Requests whose client went away mid-queue or mid-mine.", float64(m.cancelled.Load()))
+	p.Counter("rpserved_timeouts_total", "Mines stopped by the server-side deadline.", float64(m.timeouts.Load()))
+	p.Counter("rpserved_errors_total", "Other failed requests (bad input, unknown database, oversized body).", float64(m.errors.Load()))
+	p.Counter("rpserved_mined_total", "Mining runs actually executed.", float64(m.mined.Load()))
+
+	buckets, nanos := m.mining.snapshot()
+	p.Histogram("rpserved_mining_seconds", "Wall time per executed mining run.",
+		nil, histBoundsSeconds, buckets[:], float64(nanos)/1e9)
+
+	for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+		buckets, nanos := m.phases[ph].snapshot()
+		count := int64(0)
+		for _, b := range buckets {
+			count += b
+		}
+		if count == 0 {
+			continue // count-only phases (erec-prune) have no time series
+		}
+		p.Histogram("rpserved_phase_seconds", "Wall time per mining run attributed to one algorithm phase.",
+			map[string]string{"phase": ph.String()}, histBoundsSeconds, buckets[:], float64(nanos)/1e9)
 	}
-	s.MiningTime = append(s.MiningTime, HistBucket{LE: "+Inf", Count: m.hist[len(histBounds)].Load()})
-	return s
 }

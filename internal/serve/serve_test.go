@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -544,3 +546,182 @@ type atomic32 struct {
 
 func (a *atomic32) add(d int) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
 func (a *atomic32) load() int { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+// syncBuffer is a mutex-guarded bytes buffer for capturing log output that
+// handlers may still be writing after the client got its response.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, nil)
+	if status, m := postMine(t, hs.URL, `{"db":"shop","per":4,"minPS":3,"minRec":1}`); status != http.StatusOK {
+		t.Fatalf("mine: status %d, body %v", status, m)
+	}
+
+	resp, body := getBody(t, hs.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics content type = %q, want the 0.0.4 text exposition", ct)
+	}
+
+	// The mining-time histogram must expose its bucket bounds and count the
+	// one executed mine; a sub-millisecond test mine lands in every
+	// cumulative bucket.
+	for _, want := range []string{
+		"# TYPE rpserved_mining_seconds histogram",
+		`rpserved_mining_seconds_bucket{le="0.001"}`,
+		`rpserved_mining_seconds_bucket{le="10"}`,
+		`rpserved_mining_seconds_bucket{le="+Inf"} 1`,
+		"rpserved_mining_seconds_count 1",
+		"# TYPE rpserved_requests_total counter",
+		"rpserved_requests_total 1",
+		"# TYPE rpserved_in_flight gauge",
+		"rpserved_in_flight 0",
+		"rpserved_cache_entries 1",
+		"rpserved_draining 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output lacks %q", want)
+		}
+	}
+	// The per-phase histograms carry the run's trace attribution.
+	for _, phase := range []string{"scan", "tree-build", "mine"} {
+		if !strings.Contains(body, `rpserved_phase_seconds_bucket{phase="`+phase+`",le="+Inf"} 1`) {
+			t.Errorf("metrics output lacks the %s phase histogram:\n%s", phase, body)
+		}
+	}
+}
+
+func TestMaxBodyLimit(t *testing.T) {
+	var logs syncBuffer
+	_, hs := newTestServer(t, Config{MaxBody: 64, Logger: obs.NewLogger(&logs, slog.LevelInfo)}, nil)
+
+	// Leading whitespace is legal JSON framing, so the decoder must read
+	// through it — and trips the byte limit long before the value ends.
+	status, m := postMine(t, hs.URL, strings.Repeat(" ", 256)+`{"db":"shop","per":4,"minPS":3}`)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, body %v, want 413", status, m)
+	}
+	if msg, _ := m["error"].(string); !strings.Contains(msg, "64-byte limit") {
+		t.Errorf("error message %q does not name the limit", msg)
+	}
+	if got := metric(t, getStats(t, hs.URL), "errors"); got != 1 {
+		t.Errorf("errors = %v, want 1", got)
+	}
+	waitFor(t, func() bool { return strings.Contains(logs.String(), "outcome=body-too-large") })
+
+	// An in-limit request on the same server still works.
+	if status, _ := postMine(t, hs.URL, `{"db":"shop","per":4,"minPS":3}`); status != http.StatusOK {
+		t.Errorf("in-limit request: status %d, want 200", status)
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var logs syncBuffer
+	_, hs := newTestServer(t, Config{Logger: obs.NewLogger(&logs, slog.LevelInfo)}, nil)
+
+	body := `{"db":"shop","per":4,"minPS":3,"minRec":1}`
+	if status, _ := postMine(t, hs.URL, body); status != http.StatusOK {
+		t.Fatal("mine failed")
+	}
+	if status, _ := postMine(t, hs.URL, body); status != http.StatusOK {
+		t.Fatal("cache hit failed")
+	}
+	waitFor(t, func() bool { return strings.Count(logs.String(), "outcome=") >= 2 })
+
+	lines := strings.Split(strings.TrimSpace(logs.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2:\n%s", len(lines), logs.String())
+	}
+	wantFP := fmt.Sprintf("fp=%016x", testDB().Fingerprint())
+	for i, want := range []string{"outcome=ok", "outcome=cache-hit"} {
+		line := lines[i]
+		for _, frag := range []string{want, "db=shop", wantFP,
+			`opts="per=4,minPS=3,minRec=1,maxLen=0,par=0"`, "status=200"} {
+			if !strings.Contains(line, frag) {
+				t.Errorf("log line %d lacks %q: %s", i, frag, line)
+			}
+		}
+	}
+	// Request IDs are present and distinct.
+	id := func(line string) string {
+		for _, f := range strings.Fields(line) {
+			if strings.HasPrefix(f, "id=") {
+				return f
+			}
+		}
+		return ""
+	}
+	if a, b := id(lines[0]), id(lines[1]); a == "" || a == b {
+		t.Errorf("request ids not distinct: %q vs %q", a, b)
+	}
+}
+
+func TestStatsHistogramBounds(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, nil)
+	stats := getStats(t, hs.URL)
+	ms := stats["metrics"].(map[string]any)
+	buckets, ok := ms["miningTime"].([]any)
+	if !ok || len(buckets) != len(histBounds)+1 {
+		t.Fatalf("miningTime = %v, want %d buckets", ms["miningTime"], len(histBounds)+1)
+	}
+	prev := int64(0)
+	for i, raw := range buckets {
+		b := raw.(map[string]any)
+		le, ok := b["leNanos"].(float64)
+		if !ok {
+			t.Fatalf("bucket %d has no numeric leNanos: %v", i, b)
+		}
+		if i == len(buckets)-1 {
+			if le != -1 || b["le"] != "+Inf" {
+				t.Errorf("last bucket = %v, want the +Inf catch-all", b)
+			}
+			break
+		}
+		if int64(le) <= prev {
+			t.Errorf("bucket bounds not ascending at %d: %v", i, buckets)
+		}
+		prev = int64(le)
+	}
+}
+
+func TestPprofGate(t *testing.T) {
+	_, off := newTestServer(t, Config{}, nil)
+	if resp, _ := getBody(t, off.URL+"/debug/pprof/cmdline"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without Pprof: status %d, want 404", resp.StatusCode)
+	}
+	_, on := newTestServer(t, Config{Pprof: true}, nil)
+	if resp, _ := getBody(t, on.URL+"/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with Pprof: status %d, want 200", resp.StatusCode)
+	}
+}

@@ -13,13 +13,16 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -61,6 +64,16 @@ type Config struct {
 	// MaxParallelism caps the per-request Parallelism option (requests
 	// asking for more are clamped, not rejected). 0 → GOMAXPROCS.
 	MaxParallelism int
+	// MaxBody caps the request body in bytes, enforced with
+	// http.MaxBytesReader; over-limit requests are rejected with 413.
+	// 0 → 1 MiB, negative → unlimited.
+	MaxBody int64
+	// Logger receives the access log: one line per /v1/mine request with
+	// its id, database, options digest, outcome and timings. nil → discard.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
+	// default: the profiling endpoints can stall the process mid-scrape.
+	Pprof bool
 }
 
 // withDefaults resolves the zero values documented on Config.
@@ -85,6 +98,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxParallelism <= 0 {
 		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBody == 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.MaxBody < 0 {
+		c.MaxBody = 0
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -147,8 +169,16 @@ func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.handler = mux
 	return s, nil
 }
@@ -275,23 +305,75 @@ type errorResponse struct {
 // get cancelled out from under it.
 const maxMineAttempts = 3
 
+// accessRecord accumulates one /v1/mine request's access-log fields; the
+// deferred logger in handleMine emits it however the request ends.
+type accessRecord struct {
+	id        string
+	db        string
+	fp        string
+	opts      string
+	outcome   string // "ok", "cache-hit", "coalesced", "shed", ... — one word per exit path
+	status    int
+	cached    bool
+	patterns  int
+	queueWait time.Duration // time spent waiting for a mining slot (leaders only)
+	mineTime  time.Duration // the producing mine's wall time (historic on cache hits)
+}
+
+// deny records a failed request's outcome and status in one move.
+func (rec *accessRecord) deny(outcome string, status int) {
+	rec.outcome, rec.status = outcome, status
+}
+
+// optionsDigest is the compact access-log form of the resolved options.
+func optionsDigest(o core.Options) string {
+	return fmt.Sprintf("per=%d,minPS=%d,minRec=%d,maxLen=%d,par=%d",
+		o.Per, o.MinPS, o.MinRec, o.MaxLen, o.Parallelism)
+}
+
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	start := now()
 	s.metrics.requests.Add(1)
+	rec := &accessRecord{id: obs.RequestID(), outcome: "ok", status: http.StatusOK}
+	defer func() {
+		s.cfg.Logger.Info("mine",
+			"id", rec.id, "db", rec.db, "fp", rec.fp, "opts", rec.opts,
+			"outcome", rec.outcome, "status", rec.status, "cached", rec.cached,
+			"patterns", rec.patterns,
+			"queueMS", float64(rec.queueWait)/1e6,
+			"mineMS", float64(rec.mineTime)/1e6,
+			"elapsedMS", float64(time.Since(start))/1e6)
+	}()
 
 	var req mineRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	body := r.Body
+	if s.cfg.MaxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	}
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			// Distinct from plain bad requests: a too-large body usually
+			// means a client is POSTing the database instead of naming it.
+			rec.deny("body-too-large", http.StatusRequestEntityTooLarge)
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", mbe.Limit)
+			return
+		}
+		rec.deny("bad-request", http.StatusBadRequest)
 		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 
 	ent, status, err := s.lookupDB(req.DB)
 	if err != nil {
+		rec.deny("unknown-db", status)
 		s.fail(w, status, "%v", err)
 		return
 	}
+	rec.db, rec.fp = ent.name, fmt.Sprintf("%016x", ent.fp)
 
 	o := core.Options{
 		Per:         req.Per,
@@ -309,7 +391,9 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if o.Parallelism > s.cfg.MaxParallelism {
 		o.Parallelism = s.cfg.MaxParallelism
 	}
+	rec.opts = optionsDigest(o)
 	if err := o.Validate(); err != nil {
+		rec.deny("invalid-options", http.StatusBadRequest)
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -328,6 +412,8 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	if v, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
+		rec.outcome, rec.cached = "cache-hit", true
+		rec.patterns, rec.mineTime = len(v.patterns), v.mineTime
 		s.writeMineResponse(w, ent, req, v, true, start)
 		return
 	}
@@ -340,7 +426,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	)
 	for attempt := 0; attempt < maxMineAttempts; attempt++ {
 		v, mErr, leader = s.flight.do(r.Context(), key, func() (*cachedResult, error) {
-			return s.runMine(r.Context(), ent, o, key)
+			return s.runMine(r.Context(), ent, o, key, rec)
 		})
 		if mErr == nil {
 			break
@@ -357,36 +443,51 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 
 	switch {
 	case mErr == nil:
+		if !leader {
+			rec.outcome, rec.cached = "coalesced", true
+			rec.mineTime = v.mineTime
+		}
+		rec.patterns = len(v.patterns)
 		s.writeMineResponse(w, ent, req, v, !leader, start)
 	case errors.Is(mErr, errShed):
 		s.metrics.shed.Add(1)
+		rec.deny("shed", http.StatusTooManyRequests)
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests, mErr.Error())
 	case errors.Is(mErr, errDraining):
+		rec.deny("draining", http.StatusServiceUnavailable)
 		s.writeError(w, http.StatusServiceUnavailable, mErr.Error())
 	case r.Context().Err() != nil:
 		// The client cancelled or disconnected; it won't read this, but
 		// record the outcome for logs and metrics.
 		s.metrics.cancelled.Add(1)
+		rec.deny("cancelled", statusClientClosedRequest)
 		s.writeError(w, statusClientClosedRequest, "client cancelled request")
 	case errors.Is(mErr, context.DeadlineExceeded):
 		s.metrics.timeouts.Add(1)
+		rec.deny("timeout", http.StatusServiceUnavailable)
 		s.writeError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("mine exceeded the server-side time limit of %v", s.cfg.MineTimeout))
 	default:
+		rec.deny("error", http.StatusInternalServerError)
 		s.fail(w, http.StatusInternalServerError, "mining failed: %v", mErr)
 	}
 }
 
 // runMine is the single-flight leader path: drain accounting, admission,
-// the optional server-side deadline, the mine itself, and cache fill.
-func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key cacheKey) (*cachedResult, error) {
+// the optional server-side deadline, the mine itself (phase-traced), and
+// cache fill. rec is the leader's access record; queue wait and mine time
+// land there as they become known.
+func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key cacheKey, rec *accessRecord) (*cachedResult, error) {
 	if err := s.beginMine(); err != nil {
 		return nil, err
 	}
 	defer s.endMine()
 
-	if err := s.adm.acquire(ctx); err != nil {
+	queued := now()
+	err := s.adm.acquire(ctx)
+	rec.queueWait = time.Since(queued)
+	if err != nil {
 		return nil, err
 	}
 	defer s.adm.release()
@@ -398,13 +499,18 @@ func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key 
 		defer cancel()
 	}
 
+	// Each executed mine gets its own trace so the per-phase histograms
+	// see per-run attributions, not a shared running total.
+	o.Trace = obs.NewTrace()
 	begin := now()
 	res, err := s.mineFn(mctx, ent.db, o)
 	if err != nil {
 		return nil, err
 	}
 	d := time.Since(begin)
+	rec.mineTime = d
 	s.metrics.observeMineTime(d)
+	s.metrics.observeTrace(o.Trace.Report())
 
 	v := &cachedResult{
 		patterns: toAPIPatterns(ent.db, res.Patterns),
@@ -537,6 +643,26 @@ func (s *Server) statsPayload() statsResponse {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.statsPayload())
+}
+
+// handleMetrics renders the Prometheus text exposition: the counter and
+// histogram families owned by metrics, then the instantaneous gauges that
+// live on the Server.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	s.metrics.writeProm(p)
+	p.Gauge("rpserved_in_flight", "Mining runs currently executing.", float64(s.adm.inFlight()))
+	p.Gauge("rpserved_queue_depth", "Requests waiting for a mining slot.", float64(s.adm.waiting()))
+	p.Gauge("rpserved_cache_entries", "Entries in the result cache.", float64(s.cache.len()))
+	draining := 0.0
+	if s.Draining() {
+		draining = 1
+	}
+	p.Gauge("rpserved_draining", "1 while the server refuses new mines for shutdown.", draining)
+	// A scrape error only means the scraper went away mid-read; there is
+	// nothing useful to do about it here.
+	_ = p.Err()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -76,6 +77,27 @@ type (
 	// when Options.CollectStats was set.
 	CancelError = core.CancelError
 )
+
+// Observability types, re-exported from the tracing layer.
+type (
+	// Trace receives per-phase wall time and work counts for mining runs
+	// when attached via Options.Trace (nil = zero overhead). One Trace
+	// may aggregate any number of runs, concurrent ones included; see
+	// NewTrace and Trace.Report.
+	Trace = obs.Trace
+	// PhaseReport is a snapshot of a Trace: per-phase times mapped to the
+	// paper's algorithm steps (initial scan, tree build, subtree mining,
+	// finalize, plus nested ts-merge and Erec-prune work counts). Its
+	// String method renders the phase table printed by rpmine -phases.
+	PhaseReport = obs.PhaseReport
+)
+
+// NewTrace returns an empty phase trace, ready to attach to Options.Trace:
+//
+//	o := rp.Options{Per: 360, MinPS: 20, MinRec: 2, Trace: rp.NewTrace()}
+//	patterns, err := rp.Mine(db, o)
+//	fmt.Print(o.Trace.Report())
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // NewBuilder returns an empty database builder.
 func NewBuilder() *Builder { return tsdb.NewBuilder() }

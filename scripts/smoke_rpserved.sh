@@ -53,8 +53,24 @@ stats=$(curl -sf "http://$addr/v1/stats")
 grep -q '"cacheHits": 1' <<<"$stats" || { echo "stats missing cacheHits=1: $stats"; exit 1; }
 grep -q '"mined": 1' <<<"$stats" || { echo "stats missing mined=1: $stats"; exit 1; }
 
+echo "== stats expose histogram bucket bounds"
+grep -q '"leNanos"' <<<"$stats" || { echo "stats buckets missing leNanos bounds: $stats"; exit 1; }
+
 echo "== expvar is served"
 grep -q '"rpserved"' <<<"$(curl -sf "http://$addr/debug/vars")"
+
+echo "== /metrics scrape"
+metrics=$(curl -sf "http://$addr/metrics")
+grep -q '^rpserved_mining_seconds_bucket{le="+Inf"} 1$' <<<"$metrics" \
+    || { echo "metrics missing the mining-time histogram: $metrics"; exit 1; }
+grep -q '^rpserved_phase_seconds_bucket{phase="mine",le="+Inf"} 1$' <<<"$metrics" \
+    || { echo "metrics missing the mine phase histogram: $metrics"; exit 1; }
+grep -q '^rpserved_cache_hits_total 1$' <<<"$metrics" \
+    || { echo "metrics missing the cache-hit counter: $metrics"; exit 1; }
+
+echo "== access log lines"
+grep -q 'outcome=ok' "$workdir/serve.log" || { echo "missing ok access-log line"; cat "$workdir/serve.log"; exit 1; }
+grep -q 'outcome=cache-hit' "$workdir/serve.log" || { echo "missing cache-hit access-log line"; cat "$workdir/serve.log"; exit 1; }
 
 echo "== graceful shutdown"
 kill -TERM "$server_pid"
