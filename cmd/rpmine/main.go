@@ -39,20 +39,22 @@ func run(args []string, dst, errDst io.Writer) error {
 	out := cliio.NewWriter(dst)
 	fs := flag.NewFlagSet("rpmine", flag.ContinueOnError)
 	var (
-		input    = fs.String("input", "-", "transaction file to mine ('-' for stdin)")
-		per      = fs.Int64("per", 0, "period threshold (required, timestamp units)")
-		minPS    = fs.Int("minps", 0, "minimum periodic support (absolute)")
-		minPSPct = fs.Float64("minps-pct", 0, "minimum periodic support as a percentage of |TDB| (alternative to -minps)")
-		minRec   = fs.Int("minrec", 1, "minimum recurrence")
-		maxLen   = fs.Int("maxlen", 0, "maximum pattern length (0 = unlimited)")
-		parallel = fs.Int("parallel", 0, "mine top-level items with this many goroutines (0/1 = sequential)")
-		stats    = fs.Bool("stats", false, "print database and search statistics")
-		tsv      = fs.Bool("tsv", false, "tab-separated output instead of the pattern notation")
-		format   = fs.String("format", "", "output format: text (default), tsv, json or csv")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
-		phases   = fs.Bool("phases", false, "print a per-phase time and work breakdown to stderr after mining")
-		verbose  = fs.Bool("v", false, "structured progress logs on stderr")
+		input      = fs.String("input", "-", "transaction file to mine ('-' for stdin)")
+		per        = fs.Int64("per", 0, "period threshold (required, timestamp units)")
+		minPS      = fs.Int("minps", 0, "minimum periodic support (absolute)")
+		minPSPct   = fs.Float64("minps-pct", 0, "minimum periodic support as a percentage of |TDB| (alternative to -minps)")
+		minRec     = fs.Int("minrec", 1, "minimum recurrence")
+		maxLen     = fs.Int("maxlen", 0, "maximum pattern length (0 = unlimited)")
+		parallel   = fs.Int("parallel", 0, "mine top-level items with this many goroutines (0/1 = sequential)")
+		stats      = fs.Bool("stats", false, "print database and search statistics")
+		tsv        = fs.Bool("tsv", false, "tab-separated output instead of the pattern notation")
+		format     = fs.String("format", "", "output format: text (default), tsv, json or csv")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		phases     = fs.Bool("phases", false, "print a per-phase time and work breakdown to stderr after mining")
+		traceOut   = fs.String("trace-out", "", "record the run and write its span timeline as Chrome trace-event JSON to this file (open in Perfetto)")
+		traceSpans = fs.Int("trace-spans", 0, "span retention cap for -trace-out (0 = default; past it only aggregates are kept)")
+		verbose    = fs.Bool("v", false, "structured progress logs on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,10 +74,28 @@ func run(args []string, dst, errDst io.Writer) error {
 	if *phases {
 		o.Trace = rp.NewTrace()
 	}
+	var tl *rp.Timeline
+	if *traceOut != "" {
+		if *traceSpans < 0 {
+			return fmt.Errorf("-trace-spans must be >= 0, got %d", *traceSpans)
+		}
+		// Recording needs a trace to hang off; -trace-out alone implies one.
+		if o.Trace == nil {
+			o.Trace = rp.NewTrace()
+		}
+		tl = rp.NewTimeline(*traceSpans)
+		o.Trace.AttachTimeline(tl)
+	}
 	err := cliio.Profile(*cpuProf, *memProf, func() error {
 		return mine(*input, *minPSPct, *stats, *tsv, *format, o, out, logger)
 	})
-	if err == nil && o.Trace != nil {
+	if err == nil && tl != nil {
+		if werr := writeTrace(*traceOut, *input, tl); werr != nil {
+			return werr
+		}
+		logger.Info("trace written", "file", *traceOut, "spans", len(tl.Snapshot().Spans))
+	}
+	if err == nil && *phases {
 		// The phase table goes to stderr so -format json/csv output on
 		// stdout stays machine-readable with -phases on.
 		if _, werr := io.WriteString(errDst, o.Trace.Report().String()); werr != nil {
@@ -83,6 +103,19 @@ func run(args []string, dst, errDst io.Writer) error {
 		}
 	}
 	return err
+}
+
+// writeTrace exports the recorded timeline as Chrome trace-event JSON.
+func writeTrace(path, input string, tl *rp.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rp.WriteTraceEvents(f, "rpmine "+input, tl.Snapshot())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // mine loads the database, runs the miner and renders the result; split from

@@ -17,6 +17,10 @@
 //
 //	emerging: cat22 sup=412 erec=3
 //
+// Adding -phases (which requires -emerging) mines the accumulated stream
+// once at end of stream and prints the same per-phase time and work
+// breakdown rpmine -phases prints, on stderr.
+//
 // Example:
 //
 //	rpgen -dataset shop14 -scale 0.1 | rpmonitor -per 360 -minps 30 -window 10080 -watch cat22,cat37
@@ -37,7 +41,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "rpmonitor:", err)
 		os.Exit(1)
 	}
@@ -58,7 +62,7 @@ func (w *watchList) Set(v string) error {
 	return nil
 }
 
-func run(args []string, in io.Reader, dst io.Writer) error {
+func run(args []string, in io.Reader, dst, errDst io.Writer) error {
 	// Latch write errors once instead of checking every alert line.
 	out := cliio.NewWriter(dst)
 	fs := flag.NewFlagSet("rpmonitor", flag.ContinueOnError)
@@ -70,12 +74,21 @@ func run(args []string, in io.Reader, dst io.Writer) error {
 		window   = fs.Int64("window", 0, "sliding window width in timestamp units (required)")
 		final    = fs.Bool("final", true, "print the patterns recurring at end of stream")
 		emerging = fs.Bool("emerging", false, "print the RP-list candidate items over the whole stream at end")
+		phases   = fs.Bool("phases", false, "with -emerging: mine the accumulated stream at end and print a per-phase breakdown to stderr")
 	)
 	fs.Var(&watch, "watch", "comma-separated pattern to watch (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *phases && !*emerging {
+		return fmt.Errorf("-phases requires -emerging (the breakdown comes from mining the accumulated stream)")
+	}
 	o := rp.Options{Per: *per, MinPS: *minPS, MinRec: *minRec}
+	if *phases {
+		// The trace travels inside the options the incremental accumulator
+		// stores, so the end-of-stream mine below reports into it.
+		o.Trace = rp.NewTrace()
+	}
 	m, err := ext.NewMonitor(o, *window, watch)
 	if err != nil {
 		return err
@@ -142,6 +155,19 @@ func run(args []string, in io.Reader, dst io.Writer) error {
 		}
 		for _, c := range feed.inc.Candidates() {
 			fmt.Fprintf(out, "emerging: %s sup=%d erec=%d\n", c.Item, c.Support, c.Erec)
+		}
+		if *phases {
+			patterns, err := feed.inc.Mine()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "mined: %d recurring patterns over %d transactions\n",
+				len(patterns), feed.inc.Len())
+			// The phase table goes to stderr so the alert stream on stdout
+			// stays machine-readable.
+			if _, err := io.WriteString(errDst, o.Trace.Report().String()); err != nil {
+				return err
+			}
 		}
 	}
 	return out.Err()

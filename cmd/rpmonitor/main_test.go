@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestMonitorStream(t *testing.T) {
 	in.WriteString("200\tz\n")
 	var out bytes.Buffer
 	err := run([]string{"-per", "2", "-minps", "3", "-minrec", "1", "-window", "100",
-		"-watch", "x,y"}, strings.NewReader(in.String()), &out)
+		"-watch", "x,y"}, strings.NewReader(in.String()), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestMonitorFinalState(t *testing.T) {
 	in := "1\ta\n2\ta\n3\ta\n"
 	var out bytes.Buffer
 	err := run([]string{"-per", "2", "-minps", "3", "-window", "100", "-watch", "a"},
-		strings.NewReader(in), &out)
+		strings.NewReader(in), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestMonitorEmerging(t *testing.T) {
 	in := "1\ta\n2\ta\n3\ta\n3\tz\n4\ta\n"
 	var out bytes.Buffer
 	err := run([]string{"-per", "2", "-minps", "3", "-window", "100",
-		"-watch", "a", "-emerging"}, strings.NewReader(in), &out)
+		"-watch", "a", "-emerging"}, strings.NewReader(in), &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,25 +63,53 @@ func TestMonitorEmerging(t *testing.T) {
 	}
 }
 
+func TestMonitorPhases(t *testing.T) {
+	in := "1\ta\n2\ta\n3\ta\n4\ta\n"
+	var out, errOut bytes.Buffer
+	err := run([]string{"-per", "2", "-minps", "3", "-window", "100",
+		"-watch", "a", "-emerging", "-phases"}, strings.NewReader(in), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mined: 1 recurring patterns over 4 transactions") {
+		t.Errorf("missing end-of-stream mine summary:\n%s", out.String())
+	}
+	// The breakdown lands on stderr, with the phase taxonomy rpmine prints.
+	for _, phase := range []string{"scan", "tree-build", "mine", "finalize"} {
+		if !strings.Contains(errOut.String(), phase) {
+			t.Errorf("phase table lacks %q:\n%s", phase, errOut.String())
+		}
+	}
+	if strings.Contains(out.String(), "scan") {
+		t.Error("phase table leaked onto stdout")
+	}
+
+	// -phases without -emerging has nothing to mine: reject it.
+	if err := run([]string{"-per", "2", "-minps", "3", "-window", "10",
+		"-watch", "a", "-phases"}, strings.NewReader(""), &out, io.Discard); err == nil {
+		t.Error("-phases without -emerging must fail")
+	}
+}
+
 func TestMonitorErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-per", "2", "-minps", "3", "-window", "10"},
-		strings.NewReader(""), &out); err == nil {
+		strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("no watch patterns must fail")
 	}
 	if err := run([]string{"-per", "2", "-minps", "3", "-window", "10", "-watch", "a,,b"},
-		strings.NewReader(""), &out); err == nil {
+		strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("empty item in watch pattern must fail")
 	}
 	if err := run([]string{"-per", "2", "-minps", "3", "-window", "10", "-watch", "a"},
-		strings.NewReader("oops\n"), &out); err == nil {
+		strings.NewReader("oops\n"), &out, io.Discard); err == nil {
 		t.Error("garbage input must fail")
 	}
 	if err := run([]string{"-per", "2", "-minps", "3", "-window", "10", "-watch", "a"},
-		strings.NewReader("5\ta\n3\ta\n"), &out); err == nil {
+		strings.NewReader("5\ta\n3\ta\n"), &out, io.Discard); err == nil {
 		t.Error("out-of-order stream must fail")
 	}
-	if err := run([]string{"-badflag"}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"-badflag"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("bad flag must fail")
 	}
 }

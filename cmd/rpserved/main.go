@@ -13,10 +13,17 @@
 // (-dataset name[:scale[:seed]]). The HTTP surface:
 //
 //	POST /v1/mine    {"db":"shop","per":360,"minPS":20,"minRec":2} → patterns
-//	GET  /v1/stats   serving counters, cache state, database inventory
+//	GET  /v1/stats   serving counters, cache state, runtime health,
+//	                 database inventory
 //	GET  /metrics    Prometheus text exposition (counters, mining and
-//	                 per-phase time histograms, gauges)
+//	                 per-phase time histograms, serving and Go runtime
+//	                 health gauges)
 //	GET  /healthz    liveness; fails once draining begins
+//	GET  /debug/requests        journal of recent and slowest requests with
+//	                            per-phase breakdowns (HTML; ?format=json)
+//	GET  /debug/requests/trace  one request's recorded span timeline as
+//	                            Chrome trace-event JSON (?id=<request id>;
+//	                            open in Perfetto, or check with rptrace)
 //	GET  /debug/vars expvar, including the rpserved stats payload
 //	GET  /debug/pprof/...  net/http/pprof, only with -pprof
 //
@@ -85,6 +92,9 @@ func run(args []string, logDst io.Writer) error {
 		maxPar       = fs.Int("max-parallelism", 0, "cap on per-request parallelism (0 = GOMAXPROCS)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight mines")
 		maxBody      = fs.Int64("max-body", 0, "request body size limit in bytes (0 = 1 MiB, <0 = unlimited)")
+		journalSize  = fs.Int("journal-size", 0, "request journal entries behind /debug/requests (0 = 64, <0 = disabled)")
+		slowThresh   = fs.Duration("slow-threshold", 0, "elapsed time that puts a request in the journal's slow bucket (0 = 500ms, <0 = none)")
+		traceSpans   = fs.Int("trace-spans", 0, "span retention cap per recorded mine (0 = default, <0 = no timelines)")
 		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		quiet        = fs.Bool("quiet", false, "suppress the per-request access log")
 	)
@@ -111,6 +121,9 @@ func run(args []string, logDst io.Writer) error {
 		CacheSize:      *cacheSize,
 		MaxParallelism: *maxPar,
 		MaxBody:        *maxBody,
+		JournalSize:    *journalSize,
+		SlowThreshold:  *slowThresh,
+		TimelineSpans:  *traceSpans,
 		Logger:         logger,
 		Pprof:          *pprofOn,
 	}, dbs)

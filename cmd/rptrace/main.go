@@ -1,0 +1,132 @@
+// Command rptrace validates and summarizes Chrome trace-event JSON
+// recordings produced by rpmine -trace-out, the rpserved
+// /debug/requests/trace endpoint, or rp.WriteTraceEvents. It is the
+// scriptable half of the flight recorder: CI and the smoke scripts use it
+// to assert a recorded trace is well-formed without loading Perfetto.
+//
+// Each argument is validated independently; "-" (or no arguments) reads
+// stdin. The exit status is non-zero if any input fails validation.
+//
+// Example:
+//
+//	rpmine -input shop.tdb -per 720 -minps 20 -trace-out run.json
+//	rptrace run.json
+//	run.json: valid: 14 spans on 3 lanes, 2.41ms
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/recurpat/rp/internal/cliio"
+	"github.com/recurpat/rp/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, dst io.Writer) error {
+	out := cliio.NewWriter(dst)
+	fs := flag.NewFlagSet("rptrace", flag.ContinueOnError)
+	quiet := fs.Bool("q", false, "validate only, printing nothing on success")
+	phases := fs.Bool("phases", false, "additionally print per-phase span counts and times")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+	for _, path := range paths {
+		if err := check(path, *quiet, *phases, out); err != nil {
+			return err
+		}
+	}
+	return out.Err()
+}
+
+func check(path string, quiet, phases bool, out *cliio.Writer) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	spans, err := obs.ValidateTraceEvents(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if quiet {
+		return nil
+	}
+
+	// The file just validated against this exact shape; re-decode for the
+	// summary.
+	var f struct {
+		TraceEvents []obs.TraceEvent  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	type phaseAgg struct {
+		name  string
+		count int
+		durUS float64
+	}
+	var (
+		order    []string
+		byPhase  = map[string]*phaseAgg{}
+		lanes    = map[int]bool{}
+		min, max float64
+	)
+	first := true
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		lanes[ev.Tid] = true
+		if first || ev.Ts < min {
+			min = ev.Ts
+		}
+		if first || ev.Ts+ev.Dur > max {
+			max = ev.Ts + ev.Dur
+		}
+		first = false
+		name := ev.Cat
+		if name == "" {
+			name = ev.Name
+		}
+		agg := byPhase[name]
+		if agg == nil {
+			agg = &phaseAgg{name: name}
+			byPhase[name] = agg
+			order = append(order, name)
+		}
+		agg.count++
+		agg.durUS += ev.Dur
+	}
+	fmt.Fprintf(out, "%s: valid: %d spans on %d lanes, %.2fms\n", path, spans, len(lanes), (max-min)/1e3)
+	if dropped := f.OtherData["droppedSpans"]; dropped != "" {
+		fmt.Fprintf(out, "  dropped spans: %s\n", dropped)
+	}
+	if phases {
+		for _, name := range order {
+			agg := byPhase[name]
+			fmt.Fprintf(out, "  %-12s %4d span(s) %10.2fms\n", agg.name, agg.count, agg.durUS/1e3)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/recurpat/rp"
+)
+
+// recordTrace mines a small database with a timeline attached and writes
+// the trace-event file rptrace is pointed at.
+func recordTrace(t *testing.T) string {
+	t.Helper()
+	b := rp.NewBuilder()
+	for ts := int64(1); ts <= 40; ts += 2 {
+		b.Add("bread", ts)
+		b.Add("jam", ts)
+	}
+	o := rp.Options{Per: 4, MinPS: 3, MinRec: 1, Trace: rp.NewTrace()}
+	tl := rp.NewTimeline(0)
+	o.Trace.AttachTimeline(tl)
+	if _, err := rp.Mine(b.Build(), o); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.WriteTraceEvents(f, "test run", tl.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidTrace(t *testing.T) {
+	path := recordTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, path+": valid: ") || !strings.Contains(s, "spans on") {
+		t.Errorf("summary line malformed:\n%s", s)
+	}
+
+	// -phases adds the per-phase table with the mining taxonomy.
+	out.Reset()
+	if err := run([]string{"-phases", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"scan", "tree-build", "mine", "finalize", "total"} {
+		if !strings.Contains(out.String(), phase) {
+			t.Errorf("-phases output lacks %q:\n%s", phase, out.String())
+		}
+	}
+
+	// -q prints nothing on success.
+	out.Reset()
+	if err := run([]string{"-q", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-q printed output: %q", out.String())
+	}
+}
+
+func TestInvalidTrace(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"empty.json":   `{"traceEvents":[],"displayTimeUnit":"ms"}`,
+		"badtype.json": `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`,
+		"garbage.json": `not json`,
+	}
+	var out bytes.Buffer
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{path}, &out); err == nil {
+			t.Errorf("%s validated, want an error", name)
+		} else if !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: error %q does not name the file", name, err)
+		}
+	}
+	if err := run([]string{filepath.Join(dir, "missing.json")}, &out); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := run([]string{"-badflag"}, io.Discard); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

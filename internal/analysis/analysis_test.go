@@ -94,6 +94,7 @@ func TestFixtureFindsEveryKind(t *testing.T) {
 		"badimport.go:8:2: layering: import of internal/bench",
 		"fake.go:10:14: layering: baseline packages may only use internal/core's measure API, not core.Mine",
 		"ext/badserve.go:6:8: layering: import of internal/serve: only {cmd/rpserved} may import it",
+		"bench/badanalysis.go:6:8: layering: import of internal/analysis: only {cmd/rpvet} may import it",
 		"serve/badimport.go:7:8: layering: import of internal/baseline/fake breaks the layering rules",
 		// concurrency
 		"conc.go:16:46: concurrency: goroutine captures loop variable r",

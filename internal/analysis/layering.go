@@ -29,7 +29,9 @@ import (
 // Some packages are additionally restricted on the importer side:
 // internal/serve is the HTTP service's implementation and only
 // cmd/rpserved may import it, so the library surface other code builds on
-// stays the public rp package (and the service can change shape freely).
+// stays the public rp package (and the service can change shape freely);
+// internal/analysis is the vet tool's framework and only cmd/rpvet may
+// import it, so pass plumbing never leaks into the miner.
 //
 // On top of the import edges, internal/baseline packages may reference
 // only internal/core's shared measure API (Recurrence, Erec, ...): the
@@ -76,10 +78,14 @@ var layerRules = []layerRule{
 type importRestriction struct {
 	Prefix  string   // the package being protected
 	Allowed []string // importer prefixes that may use it
+	Reason  string   // appended to the finding, explains the closure
 }
 
 var importRestrictions = []importRestriction{
-	{Prefix: "internal/serve", Allowed: []string{"cmd/rpserved"}},
+	{Prefix: "internal/serve", Allowed: []string{"cmd/rpserved"},
+		Reason: "everything else goes through the public rp package"},
+	{Prefix: "internal/analysis", Allowed: []string{"cmd/rpvet"},
+		Reason: "the vet framework is tooling, not a library for the miner"},
 }
 
 // coreMeasureAPI is the part of internal/core the baselines may use: the
@@ -112,7 +118,7 @@ func runLayering(ctx *Context) {
 				continue
 			}
 			if r, restricted := matchRestriction(rel); restricted && !importerAllowed(ctx.Pkg.Rel, r) {
-				ctx.Report(imp.Pos(), "import of %s: only {%s} may import it (everything else goes through the public rp package)", rel, strings.Join(r.Allowed, ", "))
+				ctx.Report(imp.Pos(), "import of %s: only {%s} may import it (%s)", rel, strings.Join(r.Allowed, ", "), r.Reason)
 				continue
 			}
 			if rule.Allow == nil {

@@ -1,0 +1,9 @@
+// Command rpvet is the fixture's allowed importer of internal/analysis:
+// the one place that restriction permits, so nothing here may be flagged.
+package main
+
+import "example.com/rpfix/internal/analysis"
+
+func main() {
+	analysis.Touch()
+}

@@ -1,0 +1,7 @@
+// Package analysis is the fixture vet framework: importer-restricted to
+// cmd/rpvet, which uses it cleanly while internal/bench's badanalysis.go
+// trips the restriction.
+package analysis
+
+// Touch exists so importers have something to reference.
+func Touch() {}

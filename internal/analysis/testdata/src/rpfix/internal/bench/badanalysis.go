@@ -1,0 +1,9 @@
+// The fixture bench layer may import anything internal by its Allow
+// rule, but internal/analysis is importer-restricted to cmd/rpvet: this
+// import is flagged before bench's own rule is even consulted.
+package bench
+
+import "example.com/rpfix/internal/analysis"
+
+// BadAnalysis reaches into the vet framework: flagged.
+func BadAnalysis() { analysis.Touch() }

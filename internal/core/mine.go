@@ -3,9 +3,9 @@ package core
 import (
 	"context"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
@@ -129,17 +129,29 @@ func (m *miner) mineTree(t *rpTree, suffix []tsdb.ItemID, depth int) {
 		}
 		if m.tr != nil && depth == 1 {
 			// Top-level subtree task: attribute its wall time to the
-			// mining phase and publish the batch accumulated during it.
-			start := obs.Now()
+			// mining phase (and, when a timeline is attached, retain the
+			// task as a span) and publish the batch accumulated during it.
+			sp := m.tr.StartTask(m.taskLabel(t.order[r]), &m.lc)
 			m.mineRank(t, r, suffix, depth, false)
 			t.pushUp(r)
-			m.lc.Observe(obs.PhaseMine, obs.Since(start), 1)
+			sp.End(&m.lc)
 			m.lc.Flush(m.tr)
 			continue
 		}
 		m.mineRank(t, r, suffix, depth, false)
 		t.pushUp(r)
 	}
+}
+
+// taskLabel names a top-level subtree task by its suffix item, the label
+// retained timeline spans carry. The string is only built when a timeline
+// is actually attached, so the traced-aggregate-only path allocates
+// nothing extra per task.
+func (m *miner) taskLabel(item tsdb.ItemID) string {
+	if m.tr.Timeline() == nil {
+		return ""
+	}
+	return "item=" + strconv.Itoa(int(item))
 }
 
 // mineRank evaluates the pattern beta = suffix + order[r] and recurses into
@@ -262,15 +274,16 @@ func mineParallel(ctx context.Context, t *rpTree, o Options, res *Result) (cance
 					return
 				}
 				m.res = &partial[r]
-				var start time.Time
+				var sp obs.TaskSpan
 				if m.tr != nil {
-					start = obs.Now()
+					sp = m.tr.StartTask(m.taskLabel(t.order[r]), &m.lc)
 				}
 				m.mineRank(t, r, nil, 1, true)
 				if m.tr != nil {
-					// One subtree task per rank: time it and publish the
+					// One subtree task per rank: time it (retaining the
+					// span when a timeline is attached) and publish the
 					// worker's batch (merge times, prune counts) with it.
-					m.lc.Observe(obs.PhaseMine, obs.Since(start), 1)
+					sp.End(&m.lc)
 					m.lc.Flush(m.tr)
 				}
 				if m.cancelled {

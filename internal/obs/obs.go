@@ -113,6 +113,11 @@ type Trace struct {
 	// deferred total spans), the reference for phase coverage.
 	totalNanos atomic.Int64
 	runs       atomic.Int64
+
+	// tl, when non-nil, additionally retains ended spans as a bounded
+	// per-run timeline (see AttachTimeline in timeline.go). Set before the
+	// run and read-only during it; nil keeps the trace aggregate-only.
+	tl *Timeline
 }
 
 // NewTrace returns an empty trace.
@@ -180,16 +185,24 @@ func (t *Trace) StartTotal() Span {
 }
 
 // End closes the span, crediting its elapsed time (and one work unit) to
-// its phase.
+// its phase. When a timeline is attached to the trace, the span is also
+// retained as a timeline record (the whole-run span under the phase name
+// "total").
 func (s Span) End() {
 	if s.t == nil {
 		return
 	}
+	el := Since(s.start)
+	name := "total"
 	if s.p == NumPhases {
-		s.t.ObserveTotal(Since(s.start))
-		return
+		s.t.ObserveTotal(el)
+	} else {
+		s.t.Observe(s.p, el, 1)
+		name = s.p.String()
 	}
-	s.t.Observe(s.p, Since(s.start), 1)
+	if tl := s.t.tl; tl != nil {
+		tl.record(SpanRecord{Phase: name, StartNS: tl.startNS(s.start), DurNS: el})
+	}
 }
 
 // Now reads the clock for span timing. Centralized so the tracer has the

@@ -72,9 +72,18 @@ func (p *PromWriter) Histogram(name, help string, labels map[string]string, boun
 	p.printf("%s_count%s %d\n", name, formatLabels(labels), cum)
 }
 
+// labelEscaper applies the label-value escaping the text exposition format
+// (version 0.0.4) defines: backslash, double-quote and line-feed become
+// backslash sequences, every other byte — UTF-8 included — passes through
+// literally. Go's %q is close but wrong here: it also escapes tabs,
+// control bytes and non-ASCII runes, which Prometheus parsers would read
+// back as literal backslash sequences.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // formatLabels renders a label set (plus optional extra key/value pairs
 // appended last) as {k="v",...}, keys sorted for deterministic output, or
-// the empty string when there are no labels at all.
+// the empty string when there are no labels at all. Values are escaped per
+// the exposition format.
 func formatLabels(labels map[string]string, extra ...string) string {
 	if len(labels) == 0 && len(extra) == 0 {
 		return ""
@@ -90,13 +99,13 @@ func formatLabels(labels map[string]string, extra ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		fmt.Fprintf(&b, "%s=\"%s\"", k, labelEscaper.Replace(labels[k]))
 	}
 	for i := 0; i+1 < len(extra); i += 2 {
 		if i > 0 || len(keys) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extra[i], extra[i+1])
+		fmt.Fprintf(&b, "%s=\"%s\"", extra[i], labelEscaper.Replace(extra[i+1]))
 	}
 	b.WriteByte('}')
 	return b.String()

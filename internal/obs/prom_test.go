@@ -77,6 +77,40 @@ func TestPromWriterLatchesErrors(t *testing.T) {
 	}
 }
 
+// TestFormatLabelsEscaping covers the exposition format's label-value
+// escaping rules: backslash, double-quote and line-feed are escaped, and
+// nothing else is — tabs and non-ASCII UTF-8 must pass through literally
+// (where Go's %q would mangle them into backslash sequences).
+func TestFormatLabelsEscaping(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string
+	}{
+		{"plain", "shop", `{db="shop"}`},
+		{"embedded quotes", `say "hi"`, `{db="say \"hi\""}`},
+		{"newline", "line1\nline2", `{db="line1\nline2"}`},
+		{"backslash", `C:\data\db`, `{db="C:\\data\\db"}`},
+		{"backslash then quote", `\"`, `{db="\\\""}`},
+		{"all three", "a\\b\"c\nd", `{db="a\\b\"c\nd"}`},
+		{"tab stays literal", "a\tb", "{db=\"a\tb\"}"},
+		{"utf-8 stays literal", "café→η", `{db="café→η"}`},
+	}
+	for _, tc := range cases {
+		if got := formatLabels(map[string]string{"db": tc.value}); got != tc.want {
+			t.Errorf("%s: formatLabels(%q) = %s, want %s", tc.name, tc.value, got, tc.want)
+		}
+	}
+	// The extra (appended) pairs are escaped the same way.
+	got := formatLabels(map[string]string{"phase": "scan"}, "le", `+Inf"`)
+	if want := `{phase="scan",le="+Inf\""}`; got != want {
+		t.Errorf("extra pair escaping: got %s, want %s", got, want)
+	}
+	if got := formatLabels(nil); got != "" {
+		t.Errorf("no labels should render empty, got %q", got)
+	}
+}
+
 func TestFormatPromValue(t *testing.T) {
 	cases := map[float64]string{
 		0:      "0",

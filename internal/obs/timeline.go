@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Flight recorder: a Trace optionally retains a bounded per-run span
+// timeline — every phase span and mining subtree task with its start/end
+// timestamps and nested work counters — on top of the aggregate phase
+// accumulators. Retention is strictly pay-for-what-you-use: a Trace with no
+// Timeline attached behaves exactly as before (the aggregate-only traced
+// path costs one extra nil check per span end), a nil *Trace stays inert
+// everywhere, and a full Timeline degrades to aggregate-only by counting
+// dropped spans instead of growing without bound.
+
+// DefaultTimelineSpans is the span retention cap a Timeline resolves a
+// zero cap to. Each retained span is a fixed-size record, so the default
+// bounds a recorded run to a few tens of kilobytes.
+const DefaultTimelineSpans = 512
+
+// SpanRecord is one retained span of a recorded run. Start and duration
+// are relative to the Timeline's epoch, so records from one run order and
+// render without wall-clock context. Mining subtree-task spans additionally
+// carry the nested work attributed to them by the worker's batch (the
+// ts-merge time/count and Erec-prune count of the obs phase taxonomy).
+type SpanRecord struct {
+	// Phase is the canonical phase name (Phase.String), or "total" for the
+	// whole-run span.
+	Phase string `json:"phase"`
+	// Label distinguishes spans within a phase, e.g. the suffix item of a
+	// mining subtree task. May be empty.
+	Label string `json:"label,omitempty"`
+	// StartNS is the span's start, in nanoseconds since the Timeline epoch.
+	StartNS int64 `json:"startNS"`
+	// DurNS is the span's duration in nanoseconds.
+	DurNS int64 `json:"durNS"`
+	// MergeNS and Merges are the ts-list merge time and count nested inside
+	// this span; Prunes the nested Erec-prune count. Zero outside mining
+	// task spans.
+	MergeNS int64 `json:"mergeNS,omitempty"`
+	Merges  int64 `json:"merges,omitempty"`
+	Prunes  int64 `json:"prunes,omitempty"`
+}
+
+// Timeline retains the spans of one recorded run, bounded by a cap. It is
+// safe for concurrent recording (the parallel miner's workers share one),
+// and a nil *Timeline is a valid, inert receiver for every method.
+type Timeline struct {
+	epoch time.Time
+	cap   int
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int64
+}
+
+// NewTimeline returns an empty timeline whose epoch is now. maxSpans caps
+// how many spans are retained (further spans are counted as dropped and
+// only contribute to the Trace's aggregates); zero resolves to
+// DefaultTimelineSpans, negative to a timeline that retains nothing.
+func NewTimeline(maxSpans int) *Timeline {
+	if maxSpans == 0 {
+		maxSpans = DefaultTimelineSpans
+	}
+	if maxSpans < 0 {
+		maxSpans = 0
+	}
+	return &Timeline{epoch: Now(), cap: maxSpans}
+}
+
+// Cap reports the timeline's span retention cap.
+func (tl *Timeline) Cap() int {
+	if tl == nil {
+		return 0
+	}
+	return tl.cap
+}
+
+// record appends one span, or counts it as dropped once the cap is
+// reached. The aggregate Trace accumulators are unaffected either way.
+func (tl *Timeline) record(r SpanRecord) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	if len(tl.spans) < tl.cap {
+		tl.spans = append(tl.spans, r)
+	} else {
+		tl.dropped++
+	}
+	tl.mu.Unlock()
+}
+
+// startNS converts a span start time to epoch-relative nanoseconds.
+func (tl *Timeline) startNS(start time.Time) int64 {
+	return int64(start.Sub(tl.epoch))
+}
+
+// TimelineSnapshot is a point-in-time copy of a Timeline, the unit the
+// trace-event exporter and the serve journal retain and render.
+type TimelineSnapshot struct {
+	// Spans are the retained spans in recording order (which is start
+	// order per goroutine, but interleaved across workers).
+	Spans []SpanRecord `json:"spans"`
+	// Dropped counts spans that were recorded past the cap and retained
+	// only in the aggregates.
+	Dropped int64 `json:"dropped,omitempty"`
+	// Cap is the retention cap the timeline ran with.
+	Cap int `json:"cap"`
+}
+
+// Snapshot copies the retained spans. A nil timeline snapshots empty.
+func (tl *Timeline) Snapshot() TimelineSnapshot {
+	if tl == nil {
+		return TimelineSnapshot{}
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return TimelineSnapshot{
+		Spans:   append([]SpanRecord(nil), tl.spans...),
+		Dropped: tl.dropped,
+		Cap:     tl.cap,
+	}
+}
+
+// AttachTimeline makes t retain spans into tl on top of its aggregates:
+// every Span end and subtree TaskSpan end appends a SpanRecord until tl's
+// cap is reached. Attach before the run starts; a nil receiver or a nil tl
+// is a no-op (the trace stays aggregate-only).
+func (t *Trace) AttachTimeline(tl *Timeline) {
+	if t == nil {
+		return
+	}
+	t.tl = tl
+}
+
+// Timeline returns the attached timeline, or nil.
+func (t *Trace) Timeline() *Timeline {
+	if t == nil {
+		return nil
+	}
+	return t.tl
+}
+
+// TaskSpan is an in-progress mining subtree task: the unit of timeline
+// retention inside the mine phase, matching the granularity at which
+// workers flush their Local batches and observe cancellation. The zero
+// TaskSpan (from a nil Trace) is inert.
+type TaskSpan struct {
+	t     *Trace
+	start time.Time
+	label string
+
+	// mergeNS, merges, prunes snapshot the Local's nested-phase state at
+	// task start, so End can attribute only this task's delta to the span.
+	mergeNS, merges, prunes int64
+}
+
+// StartTask opens a span for one mining subtree task. label names the task
+// (e.g. its suffix item); l is the worker's batch, snapshotted so End can
+// attribute the nested merge/prune work done during the task to it.
+func (t *Trace) StartTask(label string, l *Local) TaskSpan {
+	if t == nil {
+		return TaskSpan{}
+	}
+	return TaskSpan{
+		t:       t,
+		start:   Now(),
+		label:   label,
+		mergeNS: l.nanos[PhaseMerge],
+		merges:  l.counts[PhaseMerge],
+		prunes:  l.counts[PhasePrune],
+	}
+}
+
+// End closes the task span: its elapsed time and one task are credited to
+// PhaseMine in l (not the shared atomics — the caller flushes l per task as
+// before), and when a timeline is attached the span is retained with the
+// nested ts-merge/Erec-prune work l accumulated since StartTask.
+func (s TaskSpan) End(l *Local) {
+	if s.t == nil {
+		return
+	}
+	el := Since(s.start)
+	l.Observe(PhaseMine, el, 1)
+	if tl := s.t.tl; tl != nil {
+		tl.record(SpanRecord{
+			Phase:   PhaseMine.String(),
+			Label:   s.label,
+			StartNS: tl.startNS(s.start),
+			DurNS:   el,
+			MergeNS: l.nanos[PhaseMerge] - s.mergeNS,
+			Merges:  l.counts[PhaseMerge] - s.merges,
+			Prunes:  l.counts[PhasePrune] - s.prunes,
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNilTraceTimelineInert covers the flight-recorder additions to the
+// nil-receiver contract: every new exported API must be a no-op on a nil
+// *Trace / nil *Timeline and on the zero TaskSpan.
+func TestNilTraceTimelineInert(t *testing.T) {
+	var tr *Trace
+	tr.AttachTimeline(NewTimeline(8))
+	if tl := tr.Timeline(); tl != nil {
+		t.Fatalf("nil trace returned a timeline: %v", tl)
+	}
+	var lc Local
+	sp := tr.StartTask("item=1", &lc)
+	sp.End(&lc)
+	if lc.nanos[PhaseMine] != 0 || lc.counts[PhaseMine] != 0 {
+		t.Fatal("zero TaskSpan.End observed into the Local")
+	}
+
+	var tl *Timeline
+	tl.record(SpanRecord{Phase: "mine"})
+	if got := tl.Snapshot(); len(got.Spans) != 0 || got.Dropped != 0 {
+		t.Fatalf("nil timeline snapshot not empty: %+v", got)
+	}
+	if tl.Cap() != 0 {
+		t.Fatalf("nil timeline cap = %d, want 0", tl.Cap())
+	}
+}
+
+// TestTraceWithoutTimelineStaysAggregateOnly pins the pay-for-use contract:
+// a Trace with no timeline attached records aggregates exactly as before
+// and retains nothing.
+func TestTraceWithoutTimelineStaysAggregateOnly(t *testing.T) {
+	tr := NewTrace()
+	tr.Start(PhaseScan).End()
+	var lc Local
+	sp := tr.StartTask("item=3", &lc)
+	sp.End(&lc)
+	lc.Flush(tr)
+
+	r := tr.Report()
+	if phaseStat(t, r, "scan").Count != 1 || phaseStat(t, r, "mine").Count != 1 {
+		t.Fatalf("aggregates not recorded without a timeline: %+v", r)
+	}
+	if tr.Timeline() != nil {
+		t.Fatal("trace grew a timeline nobody attached")
+	}
+}
+
+func TestTimelineRecordsSpansAndTasks(t *testing.T) {
+	tr := NewTrace()
+	tl := NewTimeline(0)
+	tr.AttachTimeline(tl)
+	if tl.Cap() != DefaultTimelineSpans {
+		t.Fatalf("zero cap resolved to %d, want DefaultTimelineSpans", tl.Cap())
+	}
+
+	total := tr.StartTotal()
+	tr.Start(PhaseScan).End()
+	var lc Local
+	sp := tr.StartTask("item=7", &lc)
+	lc.Observe(PhaseMerge, 100, 2)
+	lc.Observe(PhasePrune, 0, 3)
+	sp.End(&lc)
+	lc.Flush(tr)
+	total.End()
+
+	snap := tl.Snapshot()
+	if len(snap.Spans) != 3 {
+		t.Fatalf("retained %d spans, want 3 (scan, mine task, total): %+v", len(snap.Spans), snap.Spans)
+	}
+	byPhase := map[string]SpanRecord{}
+	for _, s := range snap.Spans {
+		byPhase[s.Phase] = s
+		if s.StartNS < 0 || s.DurNS < 0 {
+			t.Errorf("span %q has negative timing: %+v", s.Phase, s)
+		}
+	}
+	task, ok := byPhase["mine"]
+	if !ok {
+		t.Fatalf("no mine task span retained: %+v", snap.Spans)
+	}
+	if task.Label != "item=7" || task.MergeNS != 100 || task.Merges != 2 || task.Prunes != 3 {
+		t.Errorf("task span work attribution wrong: %+v", task)
+	}
+	if tot, ok := byPhase["total"]; !ok || tot.DurNS < task.DurNS {
+		t.Errorf("total span missing or shorter than its task: %+v", byPhase["total"])
+	}
+	// The aggregate side must agree with the retained side.
+	r := tr.Report()
+	if got := phaseStat(t, r, "mine"); got.Nanos != task.DurNS || got.Count != 1 {
+		t.Errorf("aggregate mine (%d ns, %d tasks) disagrees with retained span (%d ns)", got.Nanos, got.Count, task.DurNS)
+	}
+}
+
+// TestTimelineCapDegradesToAggregates checks that a full timeline drops
+// (and counts) further spans while the aggregates keep everything.
+func TestTimelineCapDegradesToAggregates(t *testing.T) {
+	tr := NewTrace()
+	tl := NewTimeline(2)
+	tr.AttachTimeline(tl)
+
+	var lc Local
+	for i := 0; i < 5; i++ {
+		sp := tr.StartTask("", &lc)
+		sp.End(&lc)
+	}
+	lc.Flush(tr)
+
+	snap := tl.Snapshot()
+	if len(snap.Spans) != 2 || snap.Dropped != 3 || snap.Cap != 2 {
+		t.Fatalf("cap behavior: got %d spans, %d dropped, cap %d; want 2, 3, 2", len(snap.Spans), snap.Dropped, snap.Cap)
+	}
+	if got := phaseStat(t, tr.Report(), "mine").Count; got != 5 {
+		t.Fatalf("aggregates lost capped tasks: count=%d, want 5", got)
+	}
+
+	// A negative cap retains nothing at all.
+	none := NewTimeline(-1)
+	none.record(SpanRecord{Phase: "mine"})
+	if snap := none.Snapshot(); len(snap.Spans) != 0 || snap.Dropped != 1 {
+		t.Fatalf("negative-cap timeline retained spans: %+v", snap)
+	}
+}
+
+// TestTimelineConcurrentRecording shares one timeline across goroutines the
+// way the parallel miner's workers do; run under -race by make check.
+func TestTimelineConcurrentRecording(t *testing.T) {
+	const workers, tasks = 8, 50
+	tr := NewTrace()
+	tl := NewTimeline(workers * tasks)
+	tr.AttachTimeline(tl)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lc Local
+			for i := 0; i < tasks; i++ {
+				sp := tr.StartTask("item", &lc)
+				lc.Observe(PhaseMerge, 1, 1)
+				sp.End(&lc)
+				lc.Flush(tr)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := tl.Snapshot()
+	if len(snap.Spans) != workers*tasks || snap.Dropped != 0 {
+		t.Fatalf("retained %d spans (%d dropped), want %d", len(snap.Spans), snap.Dropped, workers*tasks)
+	}
+	var merges int64
+	for _, s := range snap.Spans {
+		merges += s.Merges
+	}
+	if merges != workers*tasks {
+		t.Fatalf("per-span merge attribution lost work: %d, want %d", merges, workers*tasks)
+	}
+}

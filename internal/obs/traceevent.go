@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: a recorded run's TimelineSnapshot rendered as
+// the JSON object format every trace-event consumer (Perfetto,
+// chrome://tracing, catapult) loads. Spans become "X" (complete) events
+// with microsecond timestamps; concurrent spans are spread over synthetic
+// thread lanes by a greedy interval assignment, so a parallel run renders
+// as stacked worker tracks without the recorder having to know worker IDs.
+
+// TraceEvent is one entry of the trace-event array — the subset of the
+// Chrome trace-event format the exporter emits and the validator checks.
+type TraceEvent struct {
+	// Name labels the event in the UI (here: the phase, plus the span
+	// label when present).
+	Name string `json:"name"`
+	// Ph is the event type: "X" for complete spans, "M" for metadata.
+	Ph string `json:"ph"`
+	// Ts is the event start in microseconds since the timeline epoch.
+	Ts float64 `json:"ts"`
+	// Dur is the span duration in microseconds ("X" events only).
+	Dur float64 `json:"dur,omitempty"`
+	// Pid and Tid place the event on a process/thread track.
+	Pid int `json:"pid"`
+	Tid int `json:"tid"`
+	// Cat is the event category (here: the phase name).
+	Cat string `json:"cat,omitempty"`
+	// Args carries the span's work counters.
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceEventFile is the on-disk object shape: the array form also exists in
+// the wild, but the object form self-describes its time unit and leaves
+// room for metadata, and both Perfetto and chrome://tracing accept it.
+type traceEventFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	// OtherData records exporter context (tool name, dropped span count).
+	OtherData map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteTraceEvents renders a recorded run as Chrome trace-event JSON.
+// name labels the process track (e.g. "rpmine" or a request ID). Spans are
+// laid out on as few thread lanes as their overlaps allow: lane 0 carries
+// the run total and the sequential phases, concurrent mining tasks fan out
+// over further lanes.
+func WriteTraceEvents(w io.Writer, name string, snap TimelineSnapshot) error {
+	events := make([]TraceEvent, 0, len(snap.Spans)+2)
+	events = append(events, TraceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": name},
+	})
+
+	spans := append([]SpanRecord(nil), snap.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartNS != spans[j].StartNS {
+			return spans[i].StartNS < spans[j].StartNS
+		}
+		return spans[i].DurNS > spans[j].DurNS // enclosing spans first
+	})
+	lanes := assignLanes(spans)
+
+	for i, s := range spans {
+		ev := TraceEvent{
+			Name: s.Phase,
+			Ph:   "X",
+			Ts:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			Pid:  1,
+			Tid:  lanes[i],
+			Cat:  s.Phase,
+		}
+		if s.Label != "" {
+			ev.Name = s.Phase + " " + s.Label
+		}
+		if s.Merges != 0 || s.Prunes != 0 {
+			ev.Args = map[string]any{
+				"mergeUS": float64(s.MergeNS) / 1e3,
+				"merges":  s.Merges,
+				"prunes":  s.Prunes,
+			}
+		}
+		events = append(events, ev)
+	}
+
+	f := traceEventFile{TraceEvents: events, DisplayTimeUnit: "ms"}
+	if snap.Dropped > 0 {
+		f.OtherData = map[string]string{
+			"droppedSpans": fmt.Sprintf("%d (retention cap %d; aggregates still include them)", snap.Dropped, snap.Cap),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// assignLanes spreads spans (sorted by start, enclosing-first) over thread
+// lanes greedily: each span takes the lowest lane that is free at its
+// start, where a lane is free once every span previously placed on it has
+// ended. A span may also stack on an open span of a different phase that
+// contains it (the run total over its phases), so trace viewers render the
+// real nesting — but never on a same-phase sibling, because two concurrent
+// mining tasks can be interval-contained in each other without one nesting
+// in the other, and those must fan out to separate worker lanes.
+func assignLanes(spans []SpanRecord) []int {
+	type open struct {
+		end   int64
+		phase string
+	}
+	lanes := make([]int, len(spans))
+	var laneStacks [][]open // per lane, stack of still-open spans
+	for i, s := range spans {
+		end := s.StartNS + s.DurNS
+		placed := false
+		for l := range laneStacks {
+			// Pop spans that ended before this one starts.
+			st := laneStacks[l]
+			for len(st) > 0 && st[len(st)-1].end <= s.StartNS {
+				st = st[:len(st)-1]
+			}
+			if len(st) == 0 || (end <= st[len(st)-1].end && s.Phase != st[len(st)-1].phase) {
+				laneStacks[l] = append(st, open{end, s.Phase})
+				lanes[i] = l
+				placed = true
+				break
+			}
+			laneStacks[l] = st
+		}
+		if !placed {
+			laneStacks = append(laneStacks, []open{{end, s.Phase}})
+			lanes[i] = len(laneStacks) - 1
+		}
+	}
+	return lanes
+}
+
+// ValidateTraceEvents parses Chrome trace-event JSON (the object form
+// WriteTraceEvents emits) and checks every event is well-formed: a known
+// type, a name, and non-negative timing. It returns the number of span
+// ("X") events, so callers can assert a trace is non-trivial.
+func ValidateTraceEvents(r io.Reader) (spans int, err error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f traceEventFile
+	if err := dec.Decode(&f); err != nil {
+		return 0, fmt.Errorf("trace-event JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return 0, fmt.Errorf("trace-event JSON: no traceEvents")
+	}
+	for i, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			// Metadata events carry no timing.
+		case "X":
+			if ev.Ts < 0 || ev.Dur < 0 {
+				return 0, fmt.Errorf("trace-event JSON: event %d (%q) has negative timing ts=%v dur=%v", i, ev.Name, ev.Ts, ev.Dur)
+			}
+			spans++
+		default:
+			return 0, fmt.Errorf("trace-event JSON: event %d has unsupported phase type %q", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			return 0, fmt.Errorf("trace-event JSON: event %d has no name", i)
+		}
+	}
+	if spans == 0 {
+		return 0, fmt.Errorf("trace-event JSON: no span (\"X\") events")
+	}
+	return spans, nil
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// snapshotFixture is a hand-built recorded run: a total span covering a
+// sequential scan, then two overlapping mining tasks (as a parallel run
+// produces), one with nested merge work.
+func snapshotFixture() TimelineSnapshot {
+	return TimelineSnapshot{
+		Cap: 16,
+		Spans: []SpanRecord{
+			{Phase: "total", StartNS: 0, DurNS: 1000},
+			{Phase: "scan", StartNS: 0, DurNS: 100},
+			{Phase: "mine", Label: "item=1", StartNS: 100, DurNS: 600, MergeNS: 50, Merges: 4, Prunes: 2},
+			{Phase: "mine", Label: "item=2", StartNS: 150, DurNS: 500},
+		},
+	}
+}
+
+func TestWriteTraceEventsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, "rpmine", snapshotFixture()); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ValidateTraceEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exported trace fails its own validator: %v\n%s", err, buf.String())
+	}
+	if spans != 4 {
+		t.Fatalf("validator counted %d spans, want 4", spans)
+	}
+
+	var f struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	var meta, tasks int
+	tids := map[int]bool{}
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			if strings.HasPrefix(ev.Name, "mine") {
+				tasks++
+				tids[ev.Tid] = true
+			}
+		}
+	}
+	if meta == 0 {
+		t.Error("no process_name metadata event")
+	}
+	if tasks != 2 || len(tids) != 2 {
+		t.Errorf("overlapping mining tasks must land on distinct lanes: %d tasks on %d lanes", tasks, len(tids))
+	}
+	// The labelled task carries its work counters as args.
+	found := false
+	for _, ev := range f.TraceEvents {
+		if ev.Name == "mine item=1" {
+			found = true
+			if ev.Args["merges"] != float64(4) || ev.Args["prunes"] != float64(2) {
+				t.Errorf("task args lost counters: %v", ev.Args)
+			}
+		}
+	}
+	if !found {
+		t.Error("labelled task event missing")
+	}
+}
+
+func TestAssignLanesNesting(t *testing.T) {
+	// total ⊃ scan and total ⊃ task: containment stacks on one lane; the
+	// second, overlapping task needs a lane of its own.
+	spans := []SpanRecord{
+		{Phase: "total", StartNS: 0, DurNS: 1000},
+		{Phase: "scan", StartNS: 0, DurNS: 100},
+		{Phase: "mine", StartNS: 100, DurNS: 600},
+		{Phase: "mine", StartNS: 150, DurNS: 500},
+	}
+	lanes := assignLanes(spans)
+	if lanes[0] != 0 || lanes[1] != 0 || lanes[2] != 0 {
+		t.Errorf("nested spans should share lane 0: %v", lanes)
+	}
+	if lanes[3] == 0 {
+		t.Errorf("concurrent span must not share its sibling's lane: %v", lanes)
+	}
+	// Sequential spans reuse freed lanes.
+	seq := []SpanRecord{
+		{Phase: "a", StartNS: 0, DurNS: 10},
+		{Phase: "b", StartNS: 20, DurNS: 10},
+	}
+	if l := assignLanes(seq); l[0] != 0 || l[1] != 0 {
+		t.Errorf("sequential spans should reuse lane 0: %v", l)
+	}
+}
+
+func TestValidateTraceEventsRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", "nope"},
+		{"empty events", `{"traceEvents":[],"displayTimeUnit":"ms"}`},
+		{"unknown phase type", `{"traceEvents":[{"name":"x","ph":"Q","ts":0,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`},
+		{"negative duration", `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-1,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`},
+		{"nameless event", `{"traceEvents":[{"name":"","ph":"X","ts":0,"dur":1,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`},
+		{"metadata only", `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"tid":0}],"displayTimeUnit":"ms"}`},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateTraceEvents(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: validator accepted malformed input", tc.name)
+		}
+	}
+}
+
+// TestExportRecordedRun exercises the full pipeline the way rpmine does:
+// record a traced run shape, export, validate.
+func TestExportRecordedRun(t *testing.T) {
+	tr := NewTrace()
+	tl := NewTimeline(8)
+	tr.AttachTimeline(tl)
+	total := tr.StartTotal()
+	tr.Start(PhaseScan).End()
+	var lc Local
+	sp := tr.StartTask("item=1", &lc)
+	sp.End(&lc)
+	lc.Flush(tr)
+	total.End()
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, "test", tl.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTraceEvents(&buf); err != nil {
+		t.Fatalf("recorded run failed validation: %v", err)
+	}
+
+	// Dropped spans surface in otherData so a capped export is honest.
+	capped := TimelineSnapshot{Cap: 1, Dropped: 41, Spans: []SpanRecord{{Phase: "mine", DurNS: 5}}}
+	buf.Reset()
+	if err := WriteTraceEvents(&buf, "test", capped); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "droppedSpans") {
+		t.Error("export of a capped timeline does not mention dropped spans")
+	}
+}

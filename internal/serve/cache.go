@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/obs"
 )
 
 // cacheKey identifies a mining result: which database (by content
@@ -31,6 +32,13 @@ type cachedResult struct {
 	patterns []apiPattern
 	stats    core.MineStats
 	mineTime time.Duration // wall time of the run that produced it
+
+	// report and timeline describe the producing run for the request
+	// journal: its per-phase breakdown and (when recording was on) its
+	// retained span timeline. Requests answered from this entry journal
+	// them as historic.
+	report   obs.PhaseReport
+	timeline obs.TimelineSnapshot
 }
 
 // resultCache is a mutex-guarded LRU over cachedResults. A non-positive

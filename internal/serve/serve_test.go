@@ -445,6 +445,19 @@ func TestStatsPayload(t *testing.T) {
 	if cfg["maxConcurrent"].(float64) != 3 || cfg["cacheSize"].(float64) != 7 {
 		t.Errorf("config = %v", cfg)
 	}
+	if cfg["journalSize"].(float64) != 64 || cfg["slowThreshold"] != "500ms" {
+		t.Errorf("journal config = journalSize %v slowThreshold %v", cfg["journalSize"], cfg["slowThreshold"])
+	}
+	rt, ok := stats["runtime"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats response has no runtime section: %v", stats)
+	}
+	if rt["goroutines"].(float64) < 1 || rt["heapInuseBytes"].(float64) <= 0 {
+		t.Errorf("runtime gauges implausible: %v", rt)
+	}
+	if _, ok := stats["cacheHitRatio"].(float64); !ok {
+		t.Errorf("stats response has no cacheHitRatio: %v", stats)
+	}
 }
 
 func TestAdmissionQueueTimeout(t *testing.T) {
@@ -608,7 +621,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE rpserved_in_flight gauge",
 		"rpserved_in_flight 0",
 		"rpserved_cache_entries 1",
+		"rpserved_cache_hit_ratio 0",
 		"rpserved_draining 0",
+		"# TYPE go_goroutines gauge",
+		"go_goroutines ",
+		"go_heap_inuse_bytes ",
+		"go_heap_sys_bytes ",
+		"# TYPE go_gc_pause_seconds_total counter",
+		"go_gc_cycles_total ",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output lacks %q", want)

@@ -68,6 +68,20 @@ type Config struct {
 	// http.MaxBytesReader; over-limit requests are rejected with 413.
 	// 0 → 1 MiB, negative → unlimited.
 	MaxBody int64
+	// JournalSize caps the request journal backing /debug/requests, in
+	// entries. 0 → 64, negative → journal (and the /debug/requests
+	// endpoints) disabled.
+	JournalSize int
+	// SlowThreshold is the elapsed time at which a journalled request also
+	// enters the long-term slow bucket, which survives ring churn. 0 →
+	// 500ms, negative → no slow bucket.
+	SlowThreshold time.Duration
+	// TimelineSpans caps the per-run span timeline retained for each
+	// executed mine (downloadable as a Chrome trace from
+	// /debug/requests/trace). 0 → obs.DefaultTimelineSpans, negative → no
+	// timelines (journal entries keep their phase breakdowns only). No
+	// timelines are recorded when the journal is disabled.
+	TimelineSpans int
 	// Logger receives the access log: one line per /v1/mine request with
 	// its id, database, options digest, outcome and timings. nil → discard.
 	Logger *slog.Logger
@@ -105,6 +119,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody < 0 {
 		c.MaxBody = 0
 	}
+	if c.JournalSize == 0 {
+		c.JournalSize = 64
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 500 * time.Millisecond
+	}
 	if c.Logger == nil {
 		c.Logger = obs.NopLogger()
 	}
@@ -128,6 +148,7 @@ type Server struct {
 	cache   *resultCache
 	flight  *flightGroup
 	metrics metrics
+	journal *journal // nil when Config.JournalSize is negative
 	handler http.Handler
 
 	// mineFn runs one mine; tests substitute stubs to simulate slow or
@@ -157,6 +178,9 @@ func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
 		flight: newFlightGroup(),
 		mineFn: core.MineContext,
 	}
+	if cfg.JournalSize > 0 {
+		s.journal = newJournal(cfg.JournalSize, cfg.SlowThreshold)
+	}
 	for name, db := range dbs {
 		if name == "" {
 			return nil, errors.New("serve: database name must be non-empty")
@@ -172,6 +196,8 @@ func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/requests/trace", s.handleRequestTrace)
 	if cfg.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -318,6 +344,19 @@ type accessRecord struct {
 	patterns  int
 	queueWait time.Duration // time spent waiting for a mining slot (leaders only)
 	mineTime  time.Duration // the producing mine's wall time (historic on cache hits)
+
+	// Journal-only fields: the producing run's per-phase report and span
+	// timeline, and whether they were inherited from a cached result
+	// rather than measured during this request.
+	report   obs.PhaseReport
+	timeline obs.TimelineSnapshot
+	historic bool
+}
+
+// inherit fills the record's producing-run fields from a cached result.
+func (rec *accessRecord) inherit(v *cachedResult) {
+	rec.mineTime = v.mineTime
+	rec.report, rec.timeline, rec.historic = v.report, v.timeline, true
 }
 
 // deny records a failed request's outcome and status in one move.
@@ -336,13 +375,15 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	rec := &accessRecord{id: obs.RequestID(), outcome: "ok", status: http.StatusOK}
 	defer func() {
+		elapsed := time.Since(start)
 		s.cfg.Logger.Info("mine",
 			"id", rec.id, "db", rec.db, "fp", rec.fp, "opts", rec.opts,
 			"outcome", rec.outcome, "status", rec.status, "cached", rec.cached,
 			"patterns", rec.patterns,
 			"queueMS", float64(rec.queueWait)/1e6,
 			"mineMS", float64(rec.mineTime)/1e6,
-			"elapsedMS", float64(time.Since(start))/1e6)
+			"elapsedMS", float64(elapsed)/1e6)
+		s.journalRecord(rec, start, elapsed)
 	}()
 
 	var req mineRequest
@@ -413,7 +454,8 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if v, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		rec.outcome, rec.cached = "cache-hit", true
-		rec.patterns, rec.mineTime = len(v.patterns), v.mineTime
+		rec.patterns = len(v.patterns)
+		rec.inherit(v)
 		s.writeMineResponse(w, ent, req, v, true, start)
 		return
 	}
@@ -445,7 +487,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	case mErr == nil:
 		if !leader {
 			rec.outcome, rec.cached = "coalesced", true
-			rec.mineTime = v.mineTime
+			rec.inherit(v)
 		}
 		rec.patterns = len(v.patterns)
 		s.writeMineResponse(w, ent, req, v, !leader, start)
@@ -500,8 +542,15 @@ func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key 
 	}
 
 	// Each executed mine gets its own trace so the per-phase histograms
-	// see per-run attributions, not a shared running total.
+	// see per-run attributions, not a shared running total. With the
+	// journal on, the trace additionally retains a bounded span timeline —
+	// the run's flight record, downloadable from /debug/requests/trace.
 	o.Trace = obs.NewTrace()
+	var tl *obs.Timeline
+	if s.journal != nil && s.cfg.TimelineSpans >= 0 {
+		tl = obs.NewTimeline(s.cfg.TimelineSpans)
+		o.Trace.AttachTimeline(tl)
+	}
 	begin := now()
 	res, err := s.mineFn(mctx, ent.db, o)
 	if err != nil {
@@ -509,13 +558,17 @@ func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key 
 	}
 	d := time.Since(begin)
 	rec.mineTime = d
+	report := o.Trace.Report()
 	s.metrics.observeMineTime(d)
-	s.metrics.observeTrace(o.Trace.Report())
+	s.metrics.observeTrace(report)
+	rec.report, rec.timeline = report, tl.Snapshot()
 
 	v := &cachedResult{
 		patterns: toAPIPatterns(ent.db, res.Patterns),
 		stats:    res.Stats,
 		mineTime: d,
+		report:   rec.report,
+		timeline: rec.timeline,
 	}
 	s.cache.put(key, v)
 	return v, nil
@@ -583,15 +636,53 @@ type dbInfo struct {
 
 // statsResponse is the JSON body of GET /v1/stats.
 type statsResponse struct {
-	Draining   bool            `json:"draining"`
-	InFlight   int             `json:"inFlight"`
-	Queued     int             `json:"queued"`
-	CacheLen   int             `json:"cacheLen"`
-	CacheCap   int             `json:"cacheCap"`
-	Databases  []dbInfo        `json:"databases"`
-	Metrics    MetricsSnapshot `json:"metrics"`
-	Config     configInfo      `json:"config"`
-	GoMaxProcs int             `json:"goMaxProcs"`
+	Draining bool `json:"draining"`
+	InFlight int  `json:"inFlight"`
+	Queued   int  `json:"queued"`
+	CacheLen int  `json:"cacheLen"`
+	CacheCap int  `json:"cacheCap"`
+	// CacheHitRatio is hits / (hits + misses) over the server's lifetime,
+	// 0 before the first lookup.
+	CacheHitRatio float64         `json:"cacheHitRatio"`
+	Databases     []dbInfo        `json:"databases"`
+	Metrics       MetricsSnapshot `json:"metrics"`
+	Runtime       runtimeInfo     `json:"runtime"`
+	Config        configInfo      `json:"config"`
+	GoMaxProcs    int             `json:"goMaxProcs"`
+}
+
+// runtimeInfo is the Go runtime health section of /v1/stats: enough to
+// spot a leaking or GC-bound process without attaching pprof.
+type runtimeInfo struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapInuseBytes uint64  `json:"heapInuseBytes"`
+	HeapSysBytes   uint64  `json:"heapSysBytes"`
+	GCPauseMSTotal float64 `json:"gcPauseMSTotal"`
+	GCCycles       uint32  `json:"gcCycles"`
+}
+
+// readRuntimeInfo snapshots the runtime health gauges (one ReadMemStats
+// per call; scrape-frequency cost, not request-frequency).
+func readRuntimeInfo() runtimeInfo {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return runtimeInfo{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
+		HeapSysBytes:   ms.HeapSys,
+		GCPauseMSTotal: float64(ms.PauseTotalNs) / 1e6,
+		GCCycles:       ms.NumGC,
+	}
+}
+
+// cacheHitRatio derives the lifetime hit ratio from the counters.
+func (s *Server) cacheHitRatio() float64 {
+	hits := float64(s.metrics.cacheHits.Load())
+	misses := float64(s.metrics.cacheMisses.Load())
+	if hits+misses == 0 {
+		return 0
+	}
+	return hits / (hits + misses)
 }
 
 // configInfo is the resolved Config, with durations rendered as strings.
@@ -602,17 +693,22 @@ type configInfo struct {
 	MineTimeout    string `json:"mineTimeout"`
 	CacheSize      int    `json:"cacheSize"`
 	MaxParallelism int    `json:"maxParallelism"`
+	JournalSize    int    `json:"journalSize"`
+	SlowThreshold  string `json:"slowThreshold"`
+	TimelineSpans  int    `json:"timelineSpans"`
 }
 
 func (s *Server) statsPayload() statsResponse {
 	resp := statsResponse{
-		Draining:   s.Draining(),
-		InFlight:   s.adm.inFlight(),
-		Queued:     s.adm.waiting(),
-		CacheLen:   s.cache.len(),
-		CacheCap:   s.cfg.CacheSize,
-		Metrics:    s.metrics.snapshot(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Draining:      s.Draining(),
+		InFlight:      s.adm.inFlight(),
+		Queued:        s.adm.waiting(),
+		CacheLen:      s.cache.len(),
+		CacheCap:      s.cfg.CacheSize,
+		CacheHitRatio: s.cacheHitRatio(),
+		Metrics:       s.metrics.snapshot(),
+		Runtime:       readRuntimeInfo(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		Config: configInfo{
 			MaxConcurrent:  s.cfg.MaxConcurrent,
 			MaxQueue:       s.cfg.MaxQueue,
@@ -620,6 +716,9 @@ func (s *Server) statsPayload() statsResponse {
 			MineTimeout:    s.cfg.MineTimeout.String(),
 			CacheSize:      s.cfg.CacheSize,
 			MaxParallelism: s.cfg.MaxParallelism,
+			JournalSize:    s.cfg.JournalSize,
+			SlowThreshold:  s.cfg.SlowThreshold.String(),
+			TimelineSpans:  s.cfg.TimelineSpans,
 		},
 	}
 	for _, name := range s.names {
@@ -655,11 +754,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("rpserved_in_flight", "Mining runs currently executing.", float64(s.adm.inFlight()))
 	p.Gauge("rpserved_queue_depth", "Requests waiting for a mining slot.", float64(s.adm.waiting()))
 	p.Gauge("rpserved_cache_entries", "Entries in the result cache.", float64(s.cache.len()))
+	p.Gauge("rpserved_cache_hit_ratio", "Lifetime fraction of cache lookups that hit.", s.cacheHitRatio())
 	draining := 0.0
 	if s.Draining() {
 		draining = 1
 	}
 	p.Gauge("rpserved_draining", "1 while the server refuses new mines for shutdown.", draining)
+	// Go runtime health: the gauges a dashboard needs to tell a leaking or
+	// GC-bound process from a loaded one. Names follow the conventional
+	// go_* client families.
+	ri := readRuntimeInfo()
+	p.Gauge("go_goroutines", "Goroutines that currently exist.", float64(ri.Goroutines))
+	p.Gauge("go_heap_inuse_bytes", "Heap bytes in in-use spans.", float64(ri.HeapInuseBytes))
+	p.Gauge("go_heap_sys_bytes", "Heap bytes obtained from the OS.", float64(ri.HeapSysBytes))
+	p.Counter("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", ri.GCPauseMSTotal/1e3)
+	p.Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ri.GCCycles))
 	// A scrape error only means the scraper went away mid-read; there is
 	// nothing useful to do about it here.
 	_ = p.Err()

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # smoke_rpserved.sh — end-to-end lifecycle test of the mining service:
 # build, start on an ephemeral port, health-check, mine twice (the second
-# must be a cache hit), verify the stats counters, then SIGTERM and check
-# the drain path exits cleanly. Needs curl; run from anywhere.
+# must be a cache hit), verify the stats counters, walk the request
+# journal (/debug/requests, HTML and JSON) and validate a downloaded
+# per-request trace with rptrace, then SIGTERM and check the drain path
+# exits cleanly. Needs curl; run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +19,7 @@ trap cleanup EXIT
 echo "== build"
 go build -o "$workdir/rpgen" ./cmd/rpgen
 go build -o "$workdir/rpserved" ./cmd/rpserved
+go build -o "$workdir/rptrace" ./cmd/rptrace
 
 echo "== generate a small dataset"
 "$workdir/rpgen" -dataset shop14 -scale 0.02 -out "$workdir/shop.tdb"
@@ -67,6 +70,31 @@ grep -q '^rpserved_phase_seconds_bucket{phase="mine",le="+Inf"} 1$' <<<"$metrics
     || { echo "metrics missing the mine phase histogram: $metrics"; exit 1; }
 grep -q '^rpserved_cache_hits_total 1$' <<<"$metrics" \
     || { echo "metrics missing the cache-hit counter: $metrics"; exit 1; }
+grep -q '^rpserved_cache_hit_ratio ' <<<"$metrics" \
+    || { echo "metrics missing the cache-hit-ratio gauge: $metrics"; exit 1; }
+grep -q '^go_goroutines ' <<<"$metrics" \
+    || { echo "metrics missing the goroutine gauge: $metrics"; exit 1; }
+grep -q '^go_heap_inuse_bytes ' <<<"$metrics" \
+    || { echo "metrics missing the heap gauge: $metrics"; exit 1; }
+
+echo "== request journal (JSON)"
+journal=$(curl -sf "http://$addr/debug/requests?format=json")
+grep -q '"total": 2' <<<"$journal" || { echo "journal total != 2: $journal"; exit 1; }
+grep -q '"outcome": "ok"' <<<"$journal" || { echo "journal missing ok entry: $journal"; exit 1; }
+grep -q '"outcome": "cache-hit"' <<<"$journal" || { echo "journal missing cache-hit entry: $journal"; exit 1; }
+grep -q '"phase": "mine"' <<<"$journal" || { echo "journal entries lack phase breakdowns: $journal"; exit 1; }
+
+echo "== request journal (HTML)"
+html=$(curl -sf "http://$addr/debug/requests")
+grep -q '<title>rpserved request journal</title>' <<<"$html" \
+    || { echo "journal HTML page malformed: $html"; exit 1; }
+grep -q 'cache-hit' <<<"$html" || { echo "journal HTML missing the cache-hit row: $html"; exit 1; }
+
+echo "== per-request trace validates"
+rid=$(grep -o '"id": "[^"]*"' <<<"$journal" | head -1 | sed 's/"id": "\(.*\)"/\1/')
+[ -n "$rid" ] || { echo "no request id found in journal: $journal"; exit 1; }
+curl -sf "http://$addr/debug/requests/trace?id=$rid" -o "$workdir/run.json"
+"$workdir/rptrace" "$workdir/run.json"
 
 echo "== access log lines"
 grep -q 'outcome=ok' "$workdir/serve.log" || { echo "missing ok access-log line"; cat "$workdir/serve.log"; exit 1; }
