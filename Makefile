@@ -3,18 +3,20 @@
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: help build test check bench bench-core fmt vet rpvet
+.PHONY: help build test check bench bench-core fmt vet rpvet vet-fix-check vet-sarif
 
 help:
 	@echo "Targets:"
-	@echo "  build       go build ./..."
-	@echo "  test        go test ./..."
-	@echo "  check       full gate: gofmt, go vet, rpvet, build, race tests (CI runs this)"
-	@echo "  bench       end-to-end table benchmarks (root package)"
-	@echo "  bench-core  core hot-path benchmarks; updates BENCH_core.json via cmd/benchfmt"
-	@echo "  fmt         gofmt -w ."
-	@echo "  vet         go vet ./..."
-	@echo "  rpvet       custom static-analysis passes"
+	@echo "  build          go build ./..."
+	@echo "  test           go test ./..."
+	@echo "  check          full gate: gofmt, go vet, rpvet, build, race tests (CI runs this)"
+	@echo "  bench          end-to-end table benchmarks (root package)"
+	@echo "  bench-core     core hot-path benchmarks; updates BENCH_core.json via cmd/benchfmt"
+	@echo "  fmt            gofmt -w ."
+	@echo "  vet            go vet ./..."
+	@echo "  rpvet          custom static-analysis passes"
+	@echo "  vet-fix-check  assert rpvet -fix -diff is empty (every suggested fix is applied)"
+	@echo "  vet-sarif      write rpvet's findings to rpvet.sarif for code scanning"
 
 build:
 	$(GO) build ./...
@@ -42,3 +44,15 @@ vet:
 
 rpvet:
 	$(GO) run ./cmd/rpvet ./...
+
+# Fails when any pass still carries an unapplied suggested fix: the tree
+# must be a fixed point of `rpvet -fix`.
+vet-fix-check:
+	$(GO) run ./cmd/rpvet -fix -diff ./...
+
+# Writes the findings as SARIF 2.1.0 for GitHub code scanning; always
+# produces the file, even when there are findings (CI uploads it and then
+# fails on the gate instead).
+vet-sarif:
+	$(GO) run ./cmd/rpvet -format=sarif ./... > rpvet.sarif || true
+	@echo "wrote rpvet.sarif"

@@ -1,20 +1,38 @@
 // Command rpvet runs this repository's custom static-analysis passes: the
-// determinism, errcheck, layering and concurrency rules of
-// internal/analysis. It is stdlib-only (go/parser + go/types, no external
-// driver) and is part of the repo gate: scripts/check.sh runs it next to
-// go vet and the race-enabled tests, and CI fails on any finding.
+// determinism, errcheck, layering, concurrency, sortslice, ctxflow and
+// goroutine-lifecycle rules of internal/analysis. It is stdlib-only
+// (go/parser + go/types, no external driver) and is part of the repo
+// gate: scripts/check.sh runs it next to go vet and the race-enabled
+// tests, and CI fails on any finding.
 //
 // Usage:
 //
-//	rpvet [-list] [-pass name[,name...]] [package-dir | ./... ...]
+//	rpvet [flags] [package-dir | ./... ...]
+//
+//	-list            list pass names, versions and one-line docs
+//	-passes a,b,...  run only these passes (alias: -pass)
+//	-format f        output format: text (default), json, or sarif
+//	-fix             apply the findings' suggested fixes to the tree
+//	-diff            with -fix: print a unified diff instead of writing
+//	-j N             analysis parallelism (default GOMAXPROCS; 1 = sequential)
+//	-cache           use the on-disk result cache (default true)
+//	-cache-dir dir   cache location (default <module>/.rpvetcache)
+//	-C dir           change to this directory before resolving packages
 //
 // With no arguments (or "./...") every package of the enclosing module is
 // analyzed. Findings print one per line as "file:line:col: pass: message"
 // and make the exit status 1; a clean tree exits 0.
 //
-// A finding is suppressed by a "//rpvet:allow <pass>" comment on the
-// flagged line or the line above it — the escape hatch for, e.g., the
-// benchmark timing code that is allowed to call time.Now.
+// Packages load and analyze in parallel, and per-(package, pass) results
+// are cached under .rpvetcache keyed by content and pass-version hashes,
+// so a warm run costs milliseconds; the merged output is byte-identical
+// to a sequential, uncached run either way.
+//
+// A finding is suppressed by a "//rpvet:allow <pass> <reason>" comment on
+// the flagged line or the line above it — the escape hatch for, e.g., the
+// benchmark timing code that is allowed to call time.Now. The reason is
+// part of the contract: an unexplained suppression fails review, not the
+// tool.
 package main
 
 import (
@@ -41,9 +59,16 @@ func main() {
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("rpvet", flag.ContinueOnError)
 	var (
-		list     = fs.Bool("list", false, "list the passes and exit")
-		passFlag = fs.String("pass", "", "run only these comma-separated passes (default: all)")
-		dirFlag  = fs.String("C", "", "change to this directory before resolving packages")
+		list      = fs.Bool("list", false, "list the passes and exit")
+		passFlag  = fs.String("pass", "", "run only these comma-separated passes (default: all)")
+		passesFlg = fs.String("passes", "", "alias for -pass")
+		formatFlg = fs.String("format", "text", "output format: text, json, or sarif")
+		fixFlag   = fs.Bool("fix", false, "apply suggested fixes to the tree")
+		diffFlag  = fs.Bool("diff", false, "with -fix: print a unified diff instead of writing files")
+		jFlag     = fs.Int("j", 0, "analysis parallelism (0 = GOMAXPROCS, 1 = sequential)")
+		cacheFlag = fs.Bool("cache", true, "use the on-disk result cache")
+		cacheDir  = fs.String("cache-dir", "", "result cache directory (default <module>/.rpvetcache)")
+		dirFlag   = fs.String("C", "", "change to this directory before resolving packages")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -51,14 +76,29 @@ func run(args []string, out io.Writer) (int, error) {
 	if *list {
 		w := cliio.NewWriter(out)
 		for _, p := range analysis.Passes() {
-			fmt.Fprintf(w, "%-12s %s\n", p.Name, p.Doc)
+			fmt.Fprintf(w, "%-20s v%-3d %s\n", p.Name, p.Version, p.Doc)
 		}
 		return 0, w.Err()
 	}
+	if *diffFlag && !*fixFlag {
+		return 2, fmt.Errorf("-diff requires -fix")
+	}
+	switch *formatFlg {
+	case "text", "json", "sarif":
+	default:
+		return 2, fmt.Errorf("unknown -format %q (want text, json or sarif)", *formatFlg)
+	}
+	selector := *passFlag
+	if *passesFlg != "" {
+		if selector != "" && selector != *passesFlg {
+			return 2, fmt.Errorf("-pass and -passes disagree; set only one")
+		}
+		selector = *passesFlg
+	}
 	passes := analysis.Passes()
-	if *passFlag != "" {
+	if selector != "" {
 		passes = passes[:0]
-		for _, name := range strings.Split(*passFlag, ",") {
+		for _, name := range strings.Split(selector, ",") {
 			p := analysis.PassByName(strings.TrimSpace(name))
 			if p == nil {
 				return 2, fmt.Errorf("unknown pass %q (see -list)", name)
@@ -78,41 +118,42 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	loader, err := analysis.NewLoader(root)
+
+	dirs, err := resolvePatterns(root, base, fs.Args())
 	if err != nil {
 		return 2, err
 	}
 
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	var pkgs []*analysis.Package
-	seen := map[string]bool{}
-	for _, pat := range patterns {
-		var batch []*analysis.Package
-		var err error
-		switch {
-		case pat == "./..." || pat == "...":
-			batch, err = loader.LoadAll()
-		case strings.HasSuffix(pat, "/..."):
-			batch, err = loadTree(loader, filepath.Join(base, strings.TrimSuffix(pat, "/...")))
-		default:
-			batch, err = loader.LoadDirs([]string{filepath.Join(base, pat)})
+	driver := &analysis.Driver{Root: root, Passes: passes, Workers: *jFlag}
+	if *cacheFlag {
+		dir := *cacheDir
+		if dir == "" {
+			dir = filepath.Join(root, ".rpvetcache")
 		}
+		cache, err := analysis.OpenCache(dir, root)
 		if err != nil {
 			return 2, err
 		}
-		for _, p := range batch {
-			if !seen[p.PkgPath] {
-				seen[p.PkgPath] = true
-				pkgs = append(pkgs, p)
-			}
-		}
+		driver.Cache = cache
+	}
+	diags, err := driver.Run(dirs)
+	if err != nil {
+		return 2, err
 	}
 
-	diags := analysis.Run(loader, pkgs, passes)
-	n, err := analysis.Print(out, root, diags)
+	if *fixFlag {
+		return applyFixes(out, root, diags, *diffFlag)
+	}
+
+	var n int
+	switch *formatFlg {
+	case "text":
+		n, err = analysis.Print(out, root, diags)
+	case "json":
+		n, err = analysis.WriteJSON(out, root, diags)
+	case "sarif":
+		n, err = analysis.WriteSARIF(out, root, passes, diags)
+	}
 	if err != nil {
 		return 2, err
 	}
@@ -122,22 +163,109 @@ func run(args []string, out io.Writer) (int, error) {
 	return 0, nil
 }
 
-// loadTree loads every package at or below dir, mirroring the go tool's
-// dir/... pattern.
-func loadTree(loader *analysis.Loader, dir string) ([]*analysis.Package, error) {
-	all, err := loader.LoadAll()
+// applyFixes materializes suggested fixes: with diff=true it prints the
+// pending rewrite as a unified diff (exit 1 when non-empty, the contract
+// `make vet-fix-check` relies on); otherwise it writes the files and then
+// reports the findings no fix could resolve.
+func applyFixes(out io.Writer, root string, diags []analysis.Diagnostic, diff bool) (int, error) {
+	res, err := analysis.ApplyFixes(diags)
 	if err != nil {
-		return nil, err
+		return 2, err
 	}
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		return nil, err
+	if diff {
+		text, err := res.Diff(root)
+		if err != nil {
+			return 2, err
+		}
+		if text == "" {
+			return 0, nil
+		}
+		if _, err := io.WriteString(out, text); err != nil {
+			return 2, err
+		}
+		return 1, nil
 	}
-	var out []*analysis.Package
-	for _, p := range all {
-		if p.Dir == abs || strings.HasPrefix(p.Dir, abs+string(filepath.Separator)) {
-			out = append(out, p)
+	if err := res.Write(); err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(os.Stderr, "rpvet: applied %d fix(es) to %d file(s)", res.Applied, len(res.Files))
+	if res.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, ", skipped %d conflicting", res.Skipped)
+	}
+	fmt.Fprintln(os.Stderr)
+	var unfixed []analysis.Diagnostic
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			unfixed = append(unfixed, d)
 		}
 	}
-	return out, nil
+	n, err := analysis.Print(out, root, unfixed)
+	if err != nil {
+		return 2, err
+	}
+	if n > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// resolvePatterns maps the command-line package patterns to directories:
+// "./..." (or no argument) is the whole module, "dir/..." a subtree, and
+// anything else a single package directory.
+func resolvePatterns(root, base string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	var all []string // module dirs, resolved lazily
+	moduleDirs := func() ([]string, error) {
+		if all == nil {
+			var err error
+			all, err = analysis.ModuleDirs(root)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return all, nil
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			md, err := moduleDirs()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range md {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix, err := filepath.Abs(filepath.Join(base, strings.TrimSuffix(pat, "/...")))
+			if err != nil {
+				return nil, err
+			}
+			md, err := moduleDirs()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range md {
+				if d == prefix || strings.HasPrefix(d, prefix+string(filepath.Separator)) {
+					add(d)
+				}
+			}
+		default:
+			abs, err := filepath.Abs(filepath.Join(base, pat))
+			if err != nil {
+				return nil, err
+			}
+			add(abs)
+		}
+	}
+	return dirs, nil
 }

@@ -11,11 +11,33 @@ import (
 	"strings"
 )
 
+// TextEdit replaces the bytes [Start, End) of File with NewText. File is
+// an absolute path; offsets are byte offsets into the file as parsed.
+type TextEdit struct {
+	File    string
+	Start   int
+	End     int
+	NewText string
+}
+
+// SuggestedFix is a self-contained, automatically applicable resolution
+// for one diagnostic. The contract (see DESIGN.md "Pass author's guide"):
+// applying every edit of the fix — and nothing else — must leave the tree
+// building, gofmt-clean after formatting, and free of the finding that
+// carried the fix. Edits of one fix must not overlap; identical edits
+// from different fixes (e.g. two findings both inserting the same import)
+// are deduplicated by the fix engine.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
 // Diagnostic is one finding of one pass.
 type Diagnostic struct {
-	Pos  token.Position
-	Pass string
-	Msg  string
+	Pos   token.Position
+	Pass  string
+	Msg   string
+	Fixes []SuggestedFix
 }
 
 // String renders the finding as "file:line:col: pass: message" with the
@@ -35,6 +57,10 @@ func (d Diagnostic) String(root string) string {
 type Pass struct {
 	// Name is the identifier used in output and in //rpvet:allow directives.
 	Name string
+	// Version participates in the result-cache key: bump it whenever the
+	// pass's rules, message texts, or suggested fixes change, so stale
+	// cached findings are invalidated module-wide.
+	Version int
 	// Doc is a one-line description shown by rpvet -list.
 	Doc string
 	// Run inspects one package and reports findings through ctx.Report.
@@ -52,11 +78,27 @@ type Context struct {
 
 // Report records a finding at pos.
 func (ctx *Context) Report(pos token.Pos, format string, args ...any) {
+	ctx.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix records a finding at pos carrying zero or more suggested
+// fixes (nil fixes are skipped, so passes can build the fix conditionally
+// and hand over whatever they managed to construct).
+func (ctx *Context) ReportFix(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
 	*ctx.out = append(*ctx.out, Diagnostic{
-		Pos:  ctx.Loader.Fset.Position(pos),
-		Pass: ctx.pass,
-		Msg:  fmt.Sprintf(format, args...),
+		Pos:   ctx.Loader.Fset.Position(pos),
+		Pass:  ctx.pass,
+		Msg:   fmt.Sprintf(format, args...),
+		Fixes: fixes,
 	})
+}
+
+// Edit builds a TextEdit replacing the source range [start, end) with
+// newText, resolving the token positions through the loader's FileSet.
+func (ctx *Context) Edit(start, end token.Pos, newText string) TextEdit {
+	sp := ctx.Loader.Fset.Position(start)
+	ep := ctx.Loader.Fset.Position(end)
+	return TextEdit{File: sp.Filename, Start: sp.Offset, End: ep.Offset, NewText: newText}
 }
 
 // Passes returns the full suite in its fixed running order.
@@ -67,6 +109,8 @@ func Passes() []*Pass {
 		LayeringPass(),
 		ConcurrencyPass(),
 		SortSlicePass(),
+		CtxflowPass(),
+		GoroutineLifecyclePass(),
 	}
 }
 
@@ -86,11 +130,28 @@ func Run(l *Loader, pkgs []*Package, passes []*Pass) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, pass := range passes {
-			ctx := &Context{Loader: l, Pkg: pkg, pass: pass.Name, out: &diags}
-			pass.Run(ctx)
+			diags = append(diags, runPass(l, pkg, pass)...)
 		}
 	}
-	diags = filterAllowed(l, pkgs, diags)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// runPass is the unit of work the driver schedules and the cache keys:
+// one pass over one package, allow-directives already applied. The result
+// depends only on the package's source (and, through type information,
+// its dependencies' source), never on scheduling, which is what makes the
+// parallel driver's merged output byte-identical to a sequential run.
+func runPass(l *Loader, pkg *Package, pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	ctx := &Context{Loader: l, Pkg: pkg, pass: pass.Name, out: &diags}
+	pass.Run(ctx)
+	return filterAllowed(l, []*Package{pkg}, diags)
+}
+
+// SortDiagnostics orders findings by file, line, column, then pass name —
+// the canonical output order every format emits.
+func SortDiagnostics(diags []Diagnostic) {
 	slices.SortFunc(diags, func(a, b Diagnostic) int {
 		if a.Pos.Filename != b.Pos.Filename {
 			return cmp.Compare(a.Pos.Filename, b.Pos.Filename)
@@ -103,7 +164,6 @@ func Run(l *Loader, pkgs []*Package, passes []*Pass) []Diagnostic {
 		}
 		return cmp.Compare(a.Pass, b.Pass)
 	})
-	return diags
 }
 
 // Print writes the diagnostics one per line and returns how many there

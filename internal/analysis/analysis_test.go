@@ -103,6 +103,19 @@ func TestFixtureFindsEveryKind(t *testing.T) {
 		// sortslice
 		"sortslice.go:14:2: sortslice: reflection-based sort.Slice on []int64",
 		"sortslice.go:20:2: sortslice: reflection-based sort.SliceStable on []string",
+		"sortonly.go:12:2: sortslice: reflection-based sort.Slice on []int64",
+		// ctxflow
+		"ctxflow.go:23:23: ctxflow: context.Background discards the in-scope context ctx",
+		"ctxflow.go:29:23: ctxflow: context.TODO mints a fresh root below the edge layer",
+		"ctxflow.go:35:9: ctxflow: call to Search ignores the in-scope context ctx; call SearchContext(ctx, ...)",
+		"ctxflow.go:58:9: ctxflow: call to Run ignores the in-scope context ctx; call RunContext(ctx, ...)",
+		// goroutine-lifecycle
+		"conc.go:15:3: goroutine-lifecycle: goroutine has no visible join or cancel path",
+		"lifecycle.go:14:2: goroutine-lifecycle: goroutine has no visible join or cancel path",
+		"lifecycle.go:64:7: goroutine-lifecycle: method Count passes its receiver",
+		"lifecycle.go:75:14: goroutine-lifecycle: assignment copies",
+		"lifecycle.go:82:9: goroutine-lifecycle: range value b copies",
+		"lifecycle.go:90:17: goroutine-lifecycle: call passes",
 	}
 	for _, want := range mustContain {
 		if !strings.Contains(out, want) {
@@ -119,6 +132,9 @@ func TestFixtureFindsEveryKind(t *testing.T) {
 		"tsdb.go",              // the substrate package is entirely clean
 		"serve/serve.go",       // serve importing core is within its Allow rule
 		"cmd/rpserved/main.go", // the one importer the serve restriction permits
+		"cmd/tool/ctx.go",      // the edge layer may mint root contexts
+		"ctxflow.go:40",        // Threads passes its ctx along: clean
+		"ctxflow.go:18",        // SearchContext's own body is clean
 	}
 	for _, bad := range mustNotContain {
 		for _, line := range all {
@@ -138,6 +154,24 @@ func TestFixtureFindsEveryKind(t *testing.T) {
 			if strings.Contains(line, cleanLine) {
 				t.Errorf("finding on a deliberately clean line: %s", line)
 			}
+		}
+	}
+
+	// The lifecycle fixture's disciplined goroutines (WaitGroup, channel,
+	// context, carrier argument) and pointer-based lock handling must stay
+	// silent: only the seeded lines may be reported.
+	for _, line := range all {
+		if !strings.Contains(line, "serve/lifecycle.go") {
+			continue
+		}
+		seeded := false
+		for _, want := range []string{":14:", ":64:", ":75:", ":82:", ":90:"} {
+			if strings.Contains(line, want) {
+				seeded = true
+			}
+		}
+		if !seeded {
+			t.Errorf("finding on a deliberately clean lifecycle line: %s", line)
 		}
 	}
 

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// cacheKeyVersion is baked into every key; bump it when the on-disk entry
+// format (not a pass) changes, so old cache directories invalidate wholesale.
+const cacheKeyVersion = "rpvet cache v1"
+
+// Cache is the on-disk result cache under <module>/.rpvetcache. Entries
+// are content-addressed: the file name is the hex SHA-256 of the cache key
+// (see Key), so a hit is a plain stat+read and invalidation is automatic —
+// any change to a pass version or to any file of the package's
+// module-internal import closure produces a different key, and the stale
+// entry is simply never looked up again.
+type Cache struct {
+	dir  string
+	root string // module root, for relativizing file names in entries
+}
+
+// OpenCache opens (creating if needed) a cache directory. root is the
+// module root the cached diagnostics' file names are relative to.
+func OpenCache(dir, root string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("analysis: opening cache: %w", err)
+	}
+	return &Cache{dir: dir, root: root}, nil
+}
+
+// Key computes the cache key for one pass over one package. closure is
+// the package's module-internal import closure (itself included) as
+// produced by scanner.closure: the key covers every file's content hash,
+// so a change anywhere the pass could see through type information misses.
+func (c *Cache) Key(modPath string, pass *Pass, closure []*scanPkg) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nmod %s\npass %s@%d\n", cacheKeyVersion, modPath, pass.Name, pass.Version) //rpvet:allow errcheck — hash.Hash.Write never returns an error
+	for _, p := range closure {
+		for _, f := range p.files {
+			fmt.Fprintf(h, "file %s %s\n", f.rel, f.hash) //rpvet:allow errcheck — hash.Hash.Write never returns an error
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is the JSON payload of one cache file.
+type cacheEntry struct {
+	Pass        string       `json:"pass"`
+	Package     string       `json:"package"`
+	Diagnostics []cachedDiag `json:"diagnostics"`
+}
+
+type cachedDiag struct {
+	File   string      `json:"file"` // module-root-relative, slash-separated
+	Line   int         `json:"line"`
+	Column int         `json:"column"`
+	Offset int         `json:"offset"`
+	Msg    string      `json:"message"`
+	Fixes  []cachedFix `json:"fixes,omitempty"`
+}
+
+type cachedFix struct {
+	Message string       `json:"message"`
+	Edits   []cachedEdit `json:"edits"`
+}
+
+type cachedEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
+}
+
+// Get loads the diagnostics cached under key, reporting ok=false on any
+// miss or undecodable entry (which is then treated as a miss and
+// overwritten by the next Put).
+func (c *Cache) Get(key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return nil, false
+	}
+	diags := make([]Diagnostic, 0, len(ent.Diagnostics))
+	for _, cd := range ent.Diagnostics {
+		d := Diagnostic{
+			Pos: token.Position{
+				Filename: filepath.Join(c.root, filepath.FromSlash(cd.File)),
+				Line:     cd.Line,
+				Column:   cd.Column,
+				Offset:   cd.Offset,
+			},
+			Pass: ent.Pass,
+			Msg:  cd.Msg,
+		}
+		for _, cf := range cd.Fixes {
+			fix := SuggestedFix{Message: cf.Message}
+			for _, e := range cf.Edits {
+				fix.Edits = append(fix.Edits, TextEdit{
+					File:    filepath.Join(c.root, filepath.FromSlash(e.File)),
+					Start:   e.Start,
+					End:     e.End,
+					NewText: e.NewText,
+				})
+			}
+			d.Fixes = append(d.Fixes, fix)
+		}
+		diags = append(diags, d)
+	}
+	return diags, true
+}
+
+// Put stores the diagnostics of one (package, pass) run under key,
+// atomically (write-to-temp then rename), so a crashed or concurrent run
+// never leaves a truncated entry.
+func (c *Cache) Put(key, passName, pkgRel string, diags []Diagnostic) error {
+	ent := cacheEntry{Pass: passName, Package: pkgRel, Diagnostics: []cachedDiag{}}
+	for _, d := range diags {
+		cd := cachedDiag{
+			File:   c.relFile(d.Pos.Filename),
+			Line:   d.Pos.Line,
+			Column: d.Pos.Column,
+			Offset: d.Pos.Offset,
+			Msg:    d.Msg,
+		}
+		for _, f := range d.Fixes {
+			cf := cachedFix{Message: f.Message}
+			for _, e := range f.Edits {
+				cf.Edits = append(cf.Edits, cachedEdit{
+					File:    c.relFile(e.File),
+					Start:   e.Start,
+					End:     e.End,
+					NewText: e.NewText,
+				})
+			}
+			cd.Fixes = append(cd.Fixes, cf)
+		}
+		ent.Diagnostics = append(ent.Diagnostics, cd)
+	}
+	data, err := json.Marshal(ent)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()           //rpvet:allow errcheck — the write error is what matters
+		os.Remove(tmp.Name()) //rpvet:allow errcheck — best-effort cleanup
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name()) //rpvet:allow errcheck — best-effort cleanup
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(c.dir, key+".json"))
+}
+
+func (c *Cache) relFile(abs string) string {
+	if rel, err := filepath.Rel(c.root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(abs)
+}
+
+// scanFile is one hashed source file of a scanned package.
+type scanFile struct {
+	rel  string // module-root-relative, slash-separated
+	hash string // hex SHA-256 of the content
+}
+
+// scanPkg is the cheap, type-check-free view of one package the cache
+// keys are computed from: its hashed files and its module-internal
+// imports (parsed in ImportsOnly mode).
+type scanPkg struct {
+	rel     string
+	dir     string
+	files   []scanFile
+	imports []string // module-root-relative package paths, sorted
+}
+
+// scanner walks package metadata without type-checking, so a fully warm
+// cache run never pays for go/types at all.
+type scanner struct {
+	modDir  string
+	modPath string
+	pkgs    map[string]*scanPkg
+}
+
+func newScanner(modDir, modPath string) *scanner {
+	return &scanner{modDir: modDir, modPath: modPath, pkgs: make(map[string]*scanPkg)}
+}
+
+// scan reads, hashes and import-scans one package directory, memoized on
+// the module-relative package path ("" is the root package).
+func (s *scanner) scan(rel string) (*scanPkg, error) {
+	if p, ok := s.pkgs[rel]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(s.modDir, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: scanning %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	p := &scanPkg{rel: rel, dir: dir}
+	fset := token.NewFileSet()
+	seen := make(map[string]bool)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		sum := sha256.Sum256(data)
+		frel := name
+		if rel != "" {
+			frel = rel + "/" + name
+		}
+		p.files = append(p.files, scanFile{rel: frel, hash: hex.EncodeToString(sum[:])})
+		f, err := parser.ParseFile(fset, name, data, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == s.modPath || strings.HasPrefix(path, s.modPath+"/") {
+				irel := strings.TrimPrefix(strings.TrimPrefix(path, s.modPath), "/")
+				if !seen[irel] {
+					seen[irel] = true
+					p.imports = append(p.imports, irel)
+				}
+			}
+		}
+	}
+	slices.Sort(p.imports)
+	s.pkgs[rel] = p
+	return p, nil
+}
+
+// closure returns rel's module-internal import closure (rel included),
+// sorted by package path so the cache key is order-independent.
+func (s *scanner) closure(rel string) ([]*scanPkg, error) {
+	var out []*scanPkg
+	seen := map[string]bool{rel: true}
+	queue := []string{rel}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		p, err := s.scan(cur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		for _, imp := range p.imports {
+			if !seen[imp] {
+				seen[imp] = true
+				queue = append(queue, imp)
+			}
+		}
+	}
+	slices.SortFunc(out, func(a, b *scanPkg) int {
+		if a.rel < b.rel {
+			return -1
+		}
+		if a.rel > b.rel {
+			return 1
+		}
+		return 0
+	})
+	return out, nil
+}

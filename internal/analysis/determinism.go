@@ -22,9 +22,10 @@ import (
 //     is genuinely order-independent).
 func DeterminismPass() *Pass {
 	return &Pass{
-		Name: "determinism",
-		Doc:  "forbid time.Now, auto-seeded math/rand and unsorted map iteration in internal/ and cmd/",
-		Run:  runDeterminism,
+		Name:    "determinism",
+		Version: 1,
+		Doc:     "forbid time.Now, auto-seeded math/rand and unsorted map iteration in internal/ and cmd/",
+		Run:     runDeterminism,
 	}
 }
 

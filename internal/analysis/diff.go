@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// unifiedDiff renders a unified diff (3 context lines) between two byte
+// slices. Equal inputs yield the empty string. The implementation is a
+// plain longest-common-subsequence table over lines — quadratic, which is
+// fine for the source files rpvet rewrites.
+func unifiedDiff(aName, bName string, a, b []byte) string {
+	if string(a) == string(b) {
+		return ""
+	}
+	al := splitLines(string(a))
+	bl := splitLines(string(b))
+
+	// LCS table.
+	n, m := len(al), len(bl)
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else {
+				lcs[i][j] = max(lcs[i+1][j], lcs[i][j+1])
+			}
+		}
+	}
+
+	// Walk the table into an edit script of (op, aLine, bLine).
+	type edit struct {
+		op   byte // ' ', '-', '+'
+		text string
+	}
+	var script []edit
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case al[i] == bl[j]:
+			script = append(script, edit{' ', al[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			script = append(script, edit{'-', al[i]})
+			i++
+		default:
+			script = append(script, edit{'+', bl[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		script = append(script, edit{'-', al[i]})
+	}
+	for ; j < m; j++ {
+		script = append(script, edit{'+', bl[j]})
+	}
+
+	// Group changes into hunks with 3 lines of context, merging hunks
+	// whose context would touch.
+	const context = 3
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", aName, bName)
+	aLine, bLine := 1, 1
+	k := 0
+	for k < len(script) {
+		// Skip unchanged region, remembering where the next change is.
+		start := k
+		for k < len(script) && script[k].op == ' ' {
+			k++
+		}
+		if k == len(script) {
+			break
+		}
+		// Hunk starts up to `context` lines before the change.
+		hunkStart := k - context
+		if hunkStart < start {
+			hunkStart = start
+		}
+		// Advance aLine/bLine over the skipped prefix.
+		for idx := start; idx < hunkStart; idx++ {
+			aLine++
+			bLine++
+		}
+		// Extend the hunk: include runs of changes separated by at most
+		// 2*context equal lines.
+		hunkEnd := k
+		for {
+			for hunkEnd < len(script) && script[hunkEnd].op != ' ' {
+				hunkEnd++
+			}
+			gap := 0
+			probe := hunkEnd
+			for probe < len(script) && script[probe].op == ' ' && gap <= 2*context {
+				probe++
+				gap++
+			}
+			if probe < len(script) && script[probe].op != ' ' && gap <= 2*context {
+				hunkEnd = probe
+				continue
+			}
+			break
+		}
+		tail := hunkEnd + context
+		if tail > len(script) {
+			tail = len(script)
+		}
+		// Only equal lines may pad the tail.
+		for hunkEnd < tail && script[hunkEnd].op == ' ' {
+			hunkEnd++
+		}
+
+		// Count hunk extents.
+		aStart, bStart := aLine, bLine
+		aCount, bCount := 0, 0
+		for idx := hunkStart; idx < hunkEnd; idx++ {
+			switch script[idx].op {
+			case ' ':
+				aCount++
+				bCount++
+			case '-':
+				aCount++
+			case '+':
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%s +%s @@\n", hunkRange(aStart, aCount), hunkRange(bStart, bCount))
+		for idx := hunkStart; idx < hunkEnd; idx++ {
+			e := script[idx]
+			sb.WriteByte(e.op)
+			sb.WriteString(e.text)
+			sb.WriteByte('\n')
+			switch e.op {
+			case ' ':
+				aLine++
+				bLine++
+			case '-':
+				aLine++
+			case '+':
+				bLine++
+			}
+		}
+		k = hunkEnd
+	}
+	return sb.String()
+}
+
+// hunkRange renders a unified-diff range, eliding ",1" as diff does.
+func hunkRange(start, count int) string {
+	if count == 1 {
+		return fmt.Sprintf("%d", start)
+	}
+	if count == 0 && start > 0 {
+		start--
+	}
+	return fmt.Sprintf("%d,%d", start, count)
+}
+
+// splitLines splits on newlines without keeping them; a trailing newline
+// does not produce a final empty line.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestApplyFixesGolden applies every suggested fix the fixture module
+// produces and pins the rewritten files byte for byte. Each file must
+// parse and come out gofmt-clean (ApplyFixes errors otherwise).
+func TestApplyFixesGolden(t *testing.T) {
+	l, diags := loadFixture(t)
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture carries exactly five fixes: three ctxflow rewrites and
+	// two sortslice conversions; none of them conflict.
+	if res.Applied != 5 || res.Skipped != 0 {
+		t.Errorf("applied %d fixes, skipped %d; want 5 applied, 0 skipped", res.Applied, res.Skipped)
+	}
+	wantFiles := map[string]bool{
+		"internal/core/ctxflow.go":   true,
+		"internal/core/sortslice.go": true,
+		"internal/core/sortonly.go":  true,
+	}
+	for file, content := range res.Files {
+		rel := relPath(l.ModDir, file)
+		if !wantFiles[rel] {
+			t.Errorf("fixes touched unexpected file %s", rel)
+			continue
+		}
+		delete(wantFiles, rel)
+		goldenCompare(t, filepath.Join("testdata", "golden", "fixed", filepath.Base(rel)), content)
+	}
+	for rel := range wantFiles {
+		t.Errorf("fixes did not touch %s", rel)
+	}
+}
+
+// TestFixResultDiff checks the unified-diff rendering of the same fix
+// set: a/ and b/ headers, hunks, and the import swap in sortonly.go.
+func TestFixResultDiff(t *testing.T) {
+	l, diags := loadFixture(t)
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := res.Diff(l.ModDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"--- a/internal/core/ctxflow.go",
+		"+++ b/internal/core/ctxflow.go",
+		"--- a/internal/core/sortonly.go",
+		"-import \"sort\"",
+		"+import \"slices\"",
+		"+	slices.Sort(ids)",
+		"+	return SearchContext(ctx, q)",
+	} {
+		if !strings.Contains(diff, want) {
+			t.Errorf("diff is missing %q\n%s", want, diff)
+		}
+	}
+}
+
+// TestApplyFixesConflicts pins the engine's conflict policy: first writer
+// wins in diagnostic order, identical edits deduplicate, overlapping ones
+// skip the later fix.
+func TestApplyFixesConflicts(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "x.txt")
+	if err := os.WriteFile(file, []byte("abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mkdiag := func(edits ...TextEdit) Diagnostic {
+		return Diagnostic{Pass: "test", Fixes: []SuggestedFix{{Message: "m", Edits: edits}}}
+	}
+	diags := []Diagnostic{
+		mkdiag(TextEdit{File: file, Start: 0, End: 2, NewText: "XY"}),  // wins
+		mkdiag(TextEdit{File: file, Start: 1, End: 3, NewText: "ZZ"}),  // overlaps: skipped
+		mkdiag(TextEdit{File: file, Start: 0, End: 2, NewText: "XY"}),  // identical: deduplicated, still applied
+		mkdiag(TextEdit{File: file, Start: 4, End: 4, NewText: "-"}),   // insertion elsewhere: applied
+		mkdiag(TextEdit{File: file, Start: 4, End: 4, NewText: "oth"}), // different insertion at same offset: skipped
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 3 || res.Skipped != 2 {
+		t.Errorf("applied %d, skipped %d; want 3 applied, 2 skipped", res.Applied, res.Skipped)
+	}
+	if got, want := string(res.Files[file]), "XYcd-ef"; got != want {
+		t.Errorf("fixed content %q, want %q", got, want)
+	}
+}
+
+// TestUnifiedDiff unit-tests the diff writer directly.
+func TestUnifiedDiff(t *testing.T) {
+	if d := unifiedDiff("a/f", "b/f", []byte("same\n"), []byte("same\n")); d != "" {
+		t.Errorf("identical inputs produced a diff:\n%s", d)
+	}
+	old := []byte("one\ntwo\nthree\nfour\nfive\nsix\nseven\neight\nnine\n")
+	new := []byte("one\ntwo\nthree\nFOUR\nfive\nsix\nseven\neight\nnine\n")
+	d := unifiedDiff("a/f", "b/f", old, new)
+	for _, want := range []string{
+		"--- a/f\n",
+		"+++ b/f\n",
+		"@@ -1,7 +1,7 @@\n",
+		"-four\n",
+		"+FOUR\n",
+		" three\n", // context line
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff is missing %q\n%s", want, d)
+		}
+	}
+}

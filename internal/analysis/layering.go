@@ -39,9 +39,10 @@ import (
 // miner itself would make the comparison circular.
 func LayeringPass() *Pass {
 	return &Pass{
-		Name: "layering",
-		Doc:  "enforce the internal import DAG and the baseline/core measure-API boundary",
-		Run:  runLayering,
+		Name:    "layering",
+		Version: 1,
+		Doc:     "enforce the internal import DAG and the baseline/core measure-API boundary",
+		Run:     runLayering,
 	}
 }
 

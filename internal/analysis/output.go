@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// jsonFinding is one diagnostic in rpvet's -format=json output. File
+// names are module-root-relative with forward slashes, so the output is
+// stable across checkouts and usable as a machine interface for editors
+// and CI annotators.
+type jsonFinding struct {
+	File    string    `json:"file"`
+	Line    int       `json:"line"`
+	Column  int       `json:"column"`
+	Pass    string    `json:"pass"`
+	Message string    `json:"message"`
+	Fixes   []jsonFix `json:"fixes,omitempty"`
+}
+
+type jsonFix struct {
+	Message string     `json:"message"`
+	Edits   []jsonEdit `json:"edits"`
+}
+
+type jsonEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
+}
+
+// WriteJSON renders the diagnostics as a single JSON document
+// {"findings": [...]} and returns how many findings it wrote.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) (int, error) {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		f := jsonFinding{
+			File:    relPath(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Pass:    d.Pass,
+			Message: d.Msg,
+		}
+		for _, fix := range d.Fixes {
+			jf := jsonFix{Message: fix.Message}
+			for _, e := range fix.Edits {
+				jf.Edits = append(jf.Edits, jsonEdit{
+					File:    relPath(root, e.File),
+					Start:   e.Start,
+					End:     e.End,
+					NewText: e.NewText,
+				})
+			}
+			f.Fixes = append(f.Fixes, jf)
+		}
+		findings = append(findings, f)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Findings []jsonFinding `json:"findings"`
+	}{findings}); err != nil {
+		return 0, err
+	}
+	return len(diags), nil
+}
+
+// relPath relativizes abs against root when possible, with forward
+// slashes; paths outside root stay absolute.
+func relPath(root, abs string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(abs)
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SARIF 2.1.0 writer. The subset emitted here is what GitHub code
+// scanning consumes for inline PR annotations: one run, one rule per
+// pass, one result per diagnostic with a physical location, and suggested
+// fixes mapped to SARIF fix/artifactChange/replacement objects
+// (deletedRegion in charOffset/charLength form, the byte-offset scheme
+// our TextEdits already use). All URIs are module-root-relative with the
+// conventional uriBaseId ROOT, so the document is checkout-independent
+// and the golden test can pin it byte for byte.
+
+const sarifSchema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifFix struct {
+	Description     sarifMessage          `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifCharRegion `json:"deletedRegion"`
+	InsertedContent sarifMessage    `json:"insertedContent"`
+}
+
+type sarifCharRegion struct {
+	CharOffset int `json:"charOffset"`
+	CharLength int `json:"charLength"`
+}
+
+// WriteSARIF renders the diagnostics as a SARIF 2.1.0 log for the given
+// pass suite and returns how many results it wrote. passes supplies the
+// rule table (every selected pass appears as a rule even when silent, so
+// code scanning knows the full rule universe of the run).
+func WriteSARIF(w io.Writer, root string, passes []*Pass, diags []Diagnostic) (int, error) {
+	ruleIndex := make(map[string]int, len(passes))
+	rules := make([]sarifRule, 0, len(passes))
+	for i, p := range passes {
+		ruleIndex[p.Name] = i
+		rules = append(rules, sarifRule{
+			ID:               p.Name,
+			ShortDescription: sarifMessage{Text: p.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Pass]
+		if !ok {
+			return 0, fmt.Errorf("analysis: diagnostic of pass %q not in the rule table", d.Pass)
+		}
+		res := sarifResult{
+			RuleID:    d.Pass,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       relPath(root, d.Pos.Filename),
+						URIBaseID: "ROOT",
+					},
+					Region: sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		}
+		for _, fix := range d.Fixes {
+			sf := sarifFix{Description: sarifMessage{Text: fix.Message}}
+			// Group this fix's edits per file into one artifactChange each.
+			perFile := make(map[string]*sarifArtifactChange)
+			var order []string
+			for _, e := range fix.Edits {
+				uri := relPath(root, e.File)
+				ch, ok := perFile[uri]
+				if !ok {
+					ch = &sarifArtifactChange{
+						ArtifactLocation: sarifArtifactLocation{URI: uri, URIBaseID: "ROOT"},
+					}
+					perFile[uri] = ch
+					order = append(order, uri)
+				}
+				ch.Replacements = append(ch.Replacements, sarifReplacement{
+					DeletedRegion:   sarifCharRegion{CharOffset: e.Start, CharLength: e.End - e.Start},
+					InsertedContent: sarifMessage{Text: e.NewText},
+				})
+			}
+			for _, uri := range order {
+				sf.ArtifactChanges = append(sf.ArtifactChanges, *perFile[uri])
+			}
+			res.Fixes = append(res.Fixes, sf)
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rpvet", InformationURI: "https://github.com/recurpat/rp", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		return 0, err
+	}
+	return len(results), nil
+}
+
+// ValidateSARIF structurally checks a SARIF document produced by
+// WriteSARIF (or anyone else claiming 2.1.0): version and schema, at
+// least one run with a named driver, every result's ruleId resolving into
+// the rule table with a matching ruleIndex, and every location carrying a
+// relative URI and a positive start line. It is the safety net behind the
+// golden test: the golden pins our bytes, this pins the invariants GitHub
+// code scanning relies on.
+func ValidateSARIF(data []byte) error {
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		return fmt.Errorf("sarif: not valid JSON: %w", err)
+	}
+	if log.Version != "2.1.0" {
+		return fmt.Errorf("sarif: version %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) == 0 {
+		return fmt.Errorf("sarif: no runs")
+	}
+	for _, run := range log.Runs {
+		if run.Tool.Driver.Name == "" {
+			return fmt.Errorf("sarif: run has no tool.driver.name")
+		}
+		index := make(map[string]int, len(run.Tool.Driver.Rules))
+		for i, r := range run.Tool.Driver.Rules {
+			if r.ID == "" {
+				return fmt.Errorf("sarif: rule %d has no id", i)
+			}
+			index[r.ID] = i
+		}
+		for i, res := range run.Results {
+			want, ok := index[res.RuleID]
+			if !ok {
+				return fmt.Errorf("sarif: result %d references unknown rule %q", i, res.RuleID)
+			}
+			if res.RuleIndex != want {
+				return fmt.Errorf("sarif: result %d ruleIndex %d, want %d", i, res.RuleIndex, want)
+			}
+			if res.Message.Text == "" {
+				return fmt.Errorf("sarif: result %d has an empty message", i)
+			}
+			if len(res.Locations) == 0 {
+				return fmt.Errorf("sarif: result %d has no locations", i)
+			}
+			for _, loc := range res.Locations {
+				pl := loc.PhysicalLocation
+				if pl.ArtifactLocation.URI == "" {
+					return fmt.Errorf("sarif: result %d has an empty artifact URI", i)
+				}
+				if pl.Region.StartLine < 1 {
+					return fmt.Errorf("sarif: result %d startLine %d < 1", i, pl.Region.StartLine)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenCompare checks got against the golden file, rewriting it under
+// -update.
+func goldenCompare(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestSARIFGolden pins the SARIF document for the fixture module byte for
+// byte and cross-checks it against the structural validator.
+func TestSARIFGolden(t *testing.T) {
+	l, diags := loadFixture(t)
+	var buf bytes.Buffer
+	n, err := WriteSARIF(&buf, l.ModDir, Passes(), diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(diags) {
+		t.Errorf("WriteSARIF reported %d results, want %d", n, len(diags))
+	}
+	if err := ValidateSARIF(buf.Bytes()); err != nil {
+		t.Errorf("generated SARIF fails validation: %v", err)
+	}
+	goldenCompare(t, filepath.Join("testdata", "golden", "sarif.json"), buf.Bytes())
+}
+
+// TestJSONGolden pins the -format=json document the same way.
+func TestJSONGolden(t *testing.T) {
+	l, diags := loadFixture(t)
+	var buf bytes.Buffer
+	n, err := WriteJSON(&buf, l.ModDir, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(diags) {
+		t.Errorf("WriteJSON reported %d findings, want %d", n, len(diags))
+	}
+	goldenCompare(t, filepath.Join("testdata", "golden", "findings.json"), buf.Bytes())
+}
+
+// TestWriteSARIFUnknownPass: a diagnostic whose pass is missing from the
+// rule table must be an error, never a dangling ruleIndex.
+func TestWriteSARIFUnknownPass(t *testing.T) {
+	diags := []Diagnostic{{Pass: "no-such-pass", Msg: "x"}}
+	var buf bytes.Buffer
+	if _, err := WriteSARIF(&buf, "", Passes(), diags); err == nil {
+		t.Error("WriteSARIF accepted a diagnostic outside the rule table")
+	}
+}
+
+// TestValidateSARIFRejects exercises the validator on documents breaking
+// each invariant it guards.
+func TestValidateSARIFRejects(t *testing.T) {
+	valid := func() string {
+		l, diags := loadFixture(t)
+		var buf bytes.Buffer
+		if _, err := WriteSARIF(&buf, l.ModDir, Passes(), diags); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"not json", func(s string) string { return s[:len(s)/2] }, "not valid JSON"},
+		{"wrong version", func(s string) string {
+			return strings.Replace(s, `"version": "2.1.0"`, `"version": "9.9"`, 1)
+		}, "want 2.1.0"},
+		{"unknown rule", func(s string) string {
+			return strings.Replace(s, `"ruleId": "ctxflow"`, `"ruleId": "bogus"`, 1)
+		}, "unknown rule"},
+		{"ruleIndex mismatch", func(s string) string {
+			return strings.Replace(s, `"ruleIndex": 5`, `"ruleIndex": 3`, 1)
+		}, "ruleIndex"},
+		{"bad start line", func(s string) string {
+			return strings.Replace(s, `"startLine": 23`, `"startLine": 0`, 1)
+		}, "startLine"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			doc := c.mutate(valid)
+			if doc == valid {
+				t.Fatal("mutation did not change the document; the case tests nothing")
+			}
+			err := ValidateSARIF([]byte(doc))
+			if err == nil {
+				t.Fatal("validator accepted a broken document")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,13 @@
+package core
+
+// The file's only sort-package use is the one flagged ascending
+// sort.Slice, so its suggested fix must also swap the import: "sort"
+// goes away, "slices" comes in. fix_test.go pins the rewritten file.
+
+import "slices"
+
+// SortIDsAsc sorts ascending through reflection: flagged, with a fix
+// rewriting to slices.Sort and replacing the import.
+func SortIDsAsc(ids []int64) {
+	slices.Sort(ids)
+}

@@ -1,0 +1,42 @@
+package core
+
+// Seeded sortslice violations next to the clean variants the diagnostic
+// should steer people toward.
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
+
+// SortInts sorts a basic-typed slice through reflection: flagged.
+func SortInts(xs []int64) {
+	slices.Sort(xs)
+}
+
+// SortNamesDesc sorts strings with a custom order, still through
+// reflection: flagged (slices.SortFunc covers the descending comparator).
+func SortNamesDesc(names []string) {
+	sort.SliceStable(names, func(i, j int) bool { return names[i] > names[j] })
+}
+
+type scored struct {
+	name  string
+	score float64
+}
+
+// SortStructs sorts a struct slice with sort.Slice: clean — the pass only
+// targets basic element types where slices.Sort applies directly.
+func SortStructs(xs []scored) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].score > xs[j].score })
+}
+
+// SortIntsGeneric uses the monomorphic API: clean.
+func SortIntsGeneric(xs []int64) {
+	slices.Sort(xs)
+}
+
+// SortNamesDescGeneric uses the monomorphic comparator API: clean.
+func SortNamesDescGeneric(names []string) {
+	slices.SortFunc(names, func(a, b string) int { return cmp.Compare(b, a) })
+}

@@ -1,0 +1,16 @@
+// The edge layer may mint root contexts in functions that have no
+// context parameter: nothing in this file is flagged.
+package main
+
+import "context"
+
+// rootAtEdge mints the process root the way mains do: clean in cmd/.
+func rootAtEdge() context.Context {
+	return context.Background()
+}
+
+// edgeThreads still must thread an in-scope context below: rule 1
+// applies in cmd/ too, but this function is clean.
+func edgeThreads(ctx context.Context) context.Context {
+	return ctx
+}

@@ -1,0 +1,59 @@
+package core
+
+// Seeded ctxflow violations next to the clean threading discipline: core
+// is below the edge layer, so fresh root contexts and dropped in-scope
+// contexts are both flagged.
+
+import "context"
+
+// Search is the context-free variant callers should avoid once a ctx is
+// in scope.
+func Search(q int) int { return q }
+
+// SearchContext is the context-aware sibling the suggested fix rewrites
+// calls toward.
+func SearchContext(ctx context.Context, q int) int {
+	_ = ctx
+	return q
+}
+
+// DropsCtx has a context in scope but mints a fresh root: flagged
+// (rule 1) with a fix threading ctx instead.
+func DropsCtx(ctx context.Context, q int) int {
+	return SearchContext(context.Background(), q)
+}
+
+// RootBelowEdge has no context parameter, but core sits below the edge
+// layer: minting a root is flagged outright (rule 2).
+func RootBelowEdge(q int) int {
+	return SearchContext(context.TODO(), q)
+}
+
+// IgnoresSibling calls the context-free Search while SearchContext
+// exists and ctx is in scope: flagged (rule 3) with a rewrite fix.
+func IgnoresSibling(ctx context.Context, q int) int {
+	return Search(q)
+}
+
+// Threads does everything right: clean.
+func Threads(ctx context.Context, q int) int {
+	return SearchContext(ctx, q)
+}
+
+// Miner pairs a method with its context-aware sibling so rule 3 is
+// exercised on method sets, not just package scope.
+type Miner struct{}
+
+// Run is the context-free method variant.
+func (Miner) Run(q int) int { return q }
+
+// RunContext is the context-aware method sibling.
+func (Miner) RunContext(ctx context.Context, q int) int {
+	_ = ctx
+	return q
+}
+
+// IgnoresMethodSibling drops ctx on a method call: flagged (rule 3).
+func IgnoresMethodSibling(ctx context.Context, m Miner, q int) int {
+	return m.Run(q)
+}

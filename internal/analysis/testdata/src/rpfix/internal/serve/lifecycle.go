@@ -1,0 +1,96 @@
+package serve
+
+// Seeded goroutine-lifecycle violations: goroutines with no visible join
+// or cancel path, and copied sync locks, next to their disciplined
+// counterparts.
+
+import (
+	"context"
+	"sync"
+)
+
+// LeakyFire launches a goroutine nothing can join or cancel: flagged.
+func LeakyFire() {
+	go func() {
+		_ = Handle()
+	}()
+}
+
+// JoinedFire pairs the goroutine with a WaitGroup: clean.
+func JoinedFire() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = Handle()
+	}()
+	wg.Wait()
+}
+
+// ChannelFire hands the collector a rendezvous channel: clean.
+func ChannelFire() <-chan int {
+	done := make(chan int, 1)
+	go func() {
+		done <- len(Handle().Patterns)
+	}()
+	return done
+}
+
+// CtxFire watches a context for cancellation: clean.
+func CtxFire(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// CarrierFire passes the lifecycle carrier to a named worker: clean.
+func CarrierFire() {
+	done := make(chan struct{})
+	go worker(done)
+	<-done
+}
+
+func worker(done chan struct{}) {
+	close(done)
+}
+
+// box carries a mutex by value; copying it copies the lock.
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Count takes its receiver by value, copying mu: flagged.
+func (b box) Count() int { return b.n }
+
+// Grow takes the receiver by pointer: clean.
+func (b *box) Grow() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// CopyBox copies a lock-bearing value in an assignment: flagged.
+func CopyBox(b *box) int {
+	snapshot := *b
+	return snapshot.n
+}
+
+// RangeBoxes copies each element into the range value: flagged.
+func RangeBoxes(boxes []box) int {
+	total := 0
+	for _, b := range boxes {
+		total += b.n
+	}
+	return total
+}
+
+// PassBox passes a lock-bearing value as a call argument: flagged.
+func PassBox(b *box) int {
+	return readBox(*b)
+}
+
+func readBox(b box) int { return b.n }
+
+// PassBoxPtr keeps the pointer: clean.
+func PassBoxPtr(b *box) { b.Grow() }

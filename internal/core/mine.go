@@ -19,6 +19,7 @@ import (
 // The result is canonically ordered (by pattern length, then item IDs).
 // Mine is not cancellable; long-running callers should use MineContext.
 func Mine(db *tsdb.DB, o Options) (*Result, error) {
+	//rpvet:allow ctxflow — Mine is the documented non-cancellable compat wrapper; the root it mints is the API contract
 	return MineContext(context.Background(), db, o)
 }
 

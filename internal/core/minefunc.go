@@ -17,6 +17,7 @@ import (
 // callback never races with itself. Long-running callers that need
 // cancellation should use MineFuncContext.
 func MineFunc(db *tsdb.DB, o Options, fn func(Pattern) bool) error {
+	//rpvet:allow ctxflow — MineFunc is the documented non-cancellable compat wrapper; the root it mints is the API contract
 	return MineFuncContext(context.Background(), db, o, fn)
 }
 

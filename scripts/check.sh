@@ -18,8 +18,11 @@ fi
 step "go vet"
 go vet ./...
 
-step "rpvet (internal/analysis passes: determinism, errcheck, layering, concurrency, sortslice)"
+step "rpvet (determinism, errcheck, layering, concurrency, sortslice, ctxflow, goroutine-lifecycle)"
 go run ./cmd/rpvet ./...
+
+step "rpvet -fix -diff (the tree is a fixed point of the suggested fixes)"
+go run ./cmd/rpvet -fix -diff ./...
 
 step "go build"
 go build ./...
