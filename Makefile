@@ -3,7 +3,7 @@
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: help build test check bench bench-core fmt vet rpvet vet-fix-check vet-sarif
+.PHONY: help build test check bench bench-core bench-ingest fmt vet rpvet vet-fix-check vet-sarif
 
 help:
 	@echo "Targets:"
@@ -12,6 +12,7 @@ help:
 	@echo "  check          full gate: gofmt, go vet, rpvet, build, race tests (CI runs this)"
 	@echo "  bench          end-to-end table benchmarks (root package)"
 	@echo "  bench-core     core hot-path benchmarks; updates BENCH_core.json via cmd/benchfmt"
+	@echo "  bench-ingest   ingest-path benchmarks (parallel text parse, v1, v2 mapped); updates BENCH_ingest.json"
 	@echo "  fmt            gofmt -w ."
 	@echo "  vet            go vet ./..."
 	@echo "  rpvet          custom static-analysis passes"
@@ -35,6 +36,12 @@ bench:
 # and refresh the committed JSON report.
 bench-core:
 	set -o pipefail; $(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/core/ | $(GO) run ./cmd/benchfmt -out BENCH_core.json
+
+# Tracked baseline for the ingest path: sequential vs chunked-parallel text
+# parsing at several worker counts, plus the v1 decode and v2 mapped-view
+# loads, over the shared 16MB corpus.
+bench-ingest:
+	set -o pipefail; $(GO) test -run '^$$' -bench Ingest -benchmem -count 3 ./internal/tsdb/ | $(GO) run ./cmd/benchfmt -out BENCH_ingest.json
 
 fmt:
 	gofmt -w .

@@ -121,19 +121,23 @@ func writeTrace(path, input string, tl *rp.Timeline) error {
 // mine loads the database, runs the miner and renders the result; split from
 // run so the profiling wrapper brackets exactly the load-mine-print work.
 func mine(input string, minPSPct float64, stats, tsv bool, format string, o rp.Options, out *cliio.Writer, logger *slog.Logger) error {
-	var r io.Reader = os.Stdin
-	if input != "-" {
-		f, err := os.Open(input)
+	loadStart := obs.Now()
+	var db *rp.DB
+	if input == "-" {
+		var err error
+		db, err = rp.ReadDB(os.Stdin) // auto-detects text, v1 binary, v2 mapped
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		r = f
-	}
-	loadStart := obs.Now()
-	db, err := rp.ReadDB(r) // auto-detects text vs binary
-	if err != nil {
-		return err
+	} else {
+		// Files go through OpenDBFile: text parses in parallel, v2 mapped
+		// files open as memory-mapped views with no decode loop.
+		fh, err := rp.OpenDBFile(input)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		db = fh.DB()
 	}
 	logger.Info("database loaded", "input", input, "transactions", db.Len(),
 		"loadMS", float64(obs.Since(loadStart))/1e6)

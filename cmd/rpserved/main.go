@@ -1,18 +1,30 @@
-// Command rpserved serves RP-growth mining over HTTP: it loads one or
-// more databases at startup and answers mining requests against them until
-// shut down, with admission control, result caching and metrics (see
-// internal/serve and the README's Serving section).
+// Command rpserved serves RP-growth mining over HTTP: it loads zero or
+// more databases at startup and answers mining requests against them (or
+// against uploaded datasets) until shut down, with admission control,
+// result caching and metrics (see internal/serve and the README's Serving
+// section).
 //
 // Usage:
 //
 //	rpserved -db shop=shop.tdb [-db web=web.tdb] [flags]
 //	rpserved -dataset shop14:0.05:1 -listen 127.0.0.1:0
+//	rpserved -listen 127.0.0.1:0   # registry-only: mine what clients upload
 //
-// Databases come from files (-db name=path, either on-disk format) or are
+// Databases come from files (-db name=path, any on-disk format), are
 // generated in-process from the paper's dataset simulators
-// (-dataset name[:scale[:seed]]). The HTTP surface:
+// (-dataset name[:scale[:seed]]), or arrive over HTTP through the dataset
+// registry — upload once, mine many times by fingerprint. The HTTP surface:
 //
 //	POST /v1/mine    {"db":"shop","per":360,"minPS":20,"minRec":2} → patterns
+//	                 or {"dataset":"<fp>",...} to mine an uploaded dataset
+//	POST /v1/datasets     upload a database body (any format); it is parsed
+//	                      in parallel, registered under its content
+//	                      fingerprint, and the fingerprint returned.
+//	                      Bounded by -max-upload; the registry evicts least
+//	                      recently mined datasets past -registry-bytes /
+//	                      -registry-entries
+//	GET    /v1/datasets      list registered datasets (most recently used first)
+//	DELETE /v1/datasets/{fp} evict one dataset
 //	GET  /v1/stats   serving counters, cache state, runtime health,
 //	                 database inventory
 //	GET  /metrics    Prometheus text exposition (counters, mining and
@@ -92,6 +104,10 @@ func run(args []string, logDst io.Writer) error {
 		maxPar       = fs.Int("max-parallelism", 0, "cap on per-request parallelism (0 = GOMAXPROCS)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight mines")
 		maxBody      = fs.Int64("max-body", 0, "request body size limit in bytes (0 = 1 MiB, <0 = unlimited)")
+		maxUpload    = fs.Int64("max-upload", 0, "dataset upload size limit in bytes (0 = 64 MiB, <0 = unlimited)")
+		regBytes     = fs.Int64("registry-bytes", 0, "dataset registry memory budget in bytes (0 = 256 MiB, <0 = unbounded)")
+		regEntries   = fs.Int("registry-entries", 0, "dataset registry entry cap (0 = 64, <0 = unbounded)")
+		spillDir     = fs.String("spill-dir", "", "directory for upload spill files (default: the system temp dir)")
 		journalSize  = fs.Int("journal-size", 0, "request journal entries behind /debug/requests (0 = 64, <0 = disabled)")
 		slowThresh   = fs.Duration("slow-threshold", 0, "elapsed time that puts a request in the journal's slow bucket (0 = 500ms, <0 = none)")
 		traceSpans   = fs.Int("trace-spans", 0, "span retention cap per recorded mine (0 = default, <0 = no timelines)")
@@ -114,18 +130,22 @@ func run(args []string, logDst io.Writer) error {
 		logger = obs.NewLogger(logDst, slog.LevelInfo)
 	}
 	srv, err := serve.NewServer(serve.Config{
-		MaxConcurrent:  *maxConc,
-		MaxQueue:       *maxQueue,
-		QueueTimeout:   *queueTimeout,
-		MineTimeout:    *mineTimeout,
-		CacheSize:      *cacheSize,
-		MaxParallelism: *maxPar,
-		MaxBody:        *maxBody,
-		JournalSize:    *journalSize,
-		SlowThreshold:  *slowThresh,
-		TimelineSpans:  *traceSpans,
-		Logger:         logger,
-		Pprof:          *pprofOn,
+		MaxConcurrent:      *maxConc,
+		MaxQueue:           *maxQueue,
+		QueueTimeout:       *queueTimeout,
+		MineTimeout:        *mineTimeout,
+		CacheSize:          *cacheSize,
+		MaxParallelism:     *maxPar,
+		MaxBody:            *maxBody,
+		MaxUpload:          *maxUpload,
+		RegistryMaxBytes:   *regBytes,
+		RegistryMaxEntries: *regEntries,
+		SpillDir:           *spillDir,
+		JournalSize:        *journalSize,
+		SlowThreshold:      *slowThresh,
+		TimelineSpans:      *traceSpans,
+		Logger:             logger,
+		Pprof:              *pprofOn,
 	}, dbs)
 	if err != nil {
 		return err
@@ -204,19 +224,14 @@ func loadDatabases(dbSpecs, datasetSpecs []string) (map[string]*tsdb.DB, error) 
 		}
 		dbs[name] = d.DB
 	}
-	if len(dbs) == 0 {
-		return nil, errors.New("no databases to serve: give at least one -db or -dataset")
-	}
 	return dbs, nil
 }
 
+// readDBFile loads any on-disk format: text parses through the parallel
+// ingest path, v2 mapped files build their view without a per-item decode
+// loop. The database is heap-backed (no mmap lifetime to manage).
 func readDBFile(path string) (*tsdb.DB, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return tsdb.ReadAny(f)
+	return tsdb.ReadFile(path)
 }
 
 // parseDatasetSpec splits "name[:scale[:seed]]", defaulting to the paper's

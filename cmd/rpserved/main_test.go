@@ -87,11 +87,16 @@ func TestLoadDatabases(t *testing.T) {
 		{{"shop14=" + path}, {"shop14"}},        // duplicate across kinds
 		{{"shop=/does/not/exist.tdb"}, nil},     // unreadable file
 		{nil, []string{"unknowndataset"}},       // bench.Load rejects
-		{nil, nil},                              // nothing to serve
 	} {
 		if _, err := loadDatabases(bad[0], bad[1]); err == nil {
 			t.Errorf("loadDatabases(%v, %v) succeeded, want error", bad[0], bad[1])
 		}
+	}
+
+	// No specs is valid since the dataset registry: a registry-only server
+	// starts empty and serves whatever clients upload.
+	if dbs, err := loadDatabases(nil, nil); err != nil || len(dbs) != 0 {
+		t.Errorf("loadDatabases(nil, nil) = %v, %v; want empty map", dbs, err)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"cmp"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -383,6 +384,9 @@ func (l *Loader) parseNode(pkgPath string) (*loadNode, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		if !fileSelected(dir, name) {
+			continue
+		}
 		names = append(names, name)
 	}
 	slices.Sort(names)
@@ -410,6 +414,95 @@ func (l *Loader) parseNode(pkgPath string) (*loadNode, error) {
 	}
 	slices.Sort(n.imports)
 	return n, nil
+}
+
+// fileSelected reports whether a Go file belongs to the host platform's
+// build: its //go:build constraint (if any) and GOOS/GOARCH filename
+// suffixes must be satisfied for runtime.GOOS/GOARCH. The loader
+// type-checks exactly one platform's file set — the host's — so
+// tag-disjoint platform shims (mmap_unix.go / mmap_other.go and the like)
+// do not collide as redeclarations.
+func fileSelected(dir, name string) bool {
+	if !filenameSelected(name) {
+		return false
+	}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return true // let ParseFile report the real error
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if expr, err := constraint.Parse(line); err == nil {
+				return expr.Eval(hostTagSatisfied)
+			}
+			continue
+		}
+		break // package clause: the constraint block is over
+	}
+	return true
+}
+
+// unixGOOS mirrors the GOOS values matched by the "unix" build tag.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// knownGOOS/knownGOARCH drive filename-suffix constraint detection: a
+// final _<token> only constrains the build when the token is a real
+// platform name ("mmap_unix.go" is unconstrained, "x_linux.go" is not).
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"js": true, "linux": true, "netbsd": true, "openbsd": true,
+	"plan9": true, "solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// hostTagSatisfied evaluates one build tag against the host platform,
+// matching the cmd/go semantics this repository relies on.
+func hostTagSatisfied(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixGOOS[runtime.GOOS]
+	case tag == "gc":
+		return true
+	case strings.HasPrefix(tag, "go1"):
+		return true // release tags: the loader runs on the current toolchain
+	}
+	return false
+}
+
+// filenameSelected applies the _GOOS, _GOARCH and _GOOS_GOARCH filename
+// conventions.
+func filenameSelected(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	// Trailing _test was already filtered; walk at most the last two
+	// tokens: ..._GOOS_GOARCH.go, ..._GOOS.go or ..._GOARCH.go.
+	if len(parts) >= 3 && knownGOOS[parts[len(parts)-2]] && knownGOARCH[parts[len(parts)-1]] {
+		return parts[len(parts)-2] == runtime.GOOS && parts[len(parts)-1] == runtime.GOARCH
+	}
+	if len(parts) >= 2 {
+		last := parts[len(parts)-1]
+		if knownGOOS[last] {
+			return last == runtime.GOOS
+		}
+		if knownGOARCH[last] {
+			return last == runtime.GOARCH
+		}
+	}
+	return true
 }
 
 // check type-checks one parsed package; its module-internal dependencies

@@ -25,9 +25,15 @@ import (
 type Phase uint8
 
 const (
+	// PhaseIngest is database loading: parsing a TDB from its on-disk or
+	// on-the-wire form into the in-memory representation. It precedes the
+	// mining phases (a mine over an already-loaded database observes no
+	// ingest time); its count is the number of input bytes consumed, so
+	// time and count together give ingest throughput.
+	PhaseIngest Phase = iota
 	// PhaseScan is the first database scan: building the RP-list of
 	// candidate items with their supports and Erec estimates (Algorithm 1).
-	PhaseScan Phase = iota
+	PhaseScan
 	// PhaseTreeBuild is the second database scan: inserting every
 	// candidate item projection into the initial RP-tree (Algorithm 2).
 	PhaseTreeBuild
@@ -50,6 +56,7 @@ const (
 )
 
 var phaseNames = [NumPhases]string{
+	PhaseIngest:    "ingest",
 	PhaseScan:      "scan",
 	PhaseTreeBuild: "tree-build",
 	PhaseMine:      "mine",
@@ -59,6 +66,7 @@ var phaseNames = [NumPhases]string{
 }
 
 var phaseUnits = [NumPhases]string{
+	PhaseIngest:    "bytes",
 	PhaseScan:      "scans",
 	PhaseTreeBuild: "builds",
 	PhaseMine:      "tasks",

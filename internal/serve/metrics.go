@@ -72,6 +72,9 @@ type metrics struct {
 	mined       atomic.Int64 // mining runs actually executed
 	mining      durationHist // wall time per executed mining run
 
+	uploads          atomic.Int64 // POST /v1/datasets requests received
+	datasetEvictions atomic.Int64 // datasets displaced by the registry's LRU bounds
+
 	// phases histograms the per-phase wall time of every executed mine,
 	// one histogram per algorithm phase of the tracer's taxonomy. Nested
 	// phases (ts-merge) record their aggregate time per run like the
@@ -134,6 +137,9 @@ type MetricsSnapshot struct {
 	Mined         int64        `json:"mined"`
 	MiningMSTotal float64      `json:"miningMSTotal"`
 	MiningTime    []HistBucket `json:"miningTime"`
+
+	Uploads          int64 `json:"uploads"`
+	DatasetEvictions int64 `json:"datasetEvictions"`
 }
 
 // snapshot copies the counters. Individual loads are atomic but the
@@ -150,6 +156,9 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Mined:         m.mined.Load(),
 		MiningMSTotal: float64(m.mining.nanos.Load()) / 1e6,
 		MiningTime:    histSnapshot(&m.mining),
+
+		Uploads:          m.uploads.Load(),
+		DatasetEvictions: m.datasetEvictions.Load(),
 	}
 }
 
@@ -165,6 +174,8 @@ func (m *metrics) writeProm(p *obs.PromWriter) {
 	p.Counter("rpserved_timeouts_total", "Mines stopped by the server-side deadline.", float64(m.timeouts.Load()))
 	p.Counter("rpserved_errors_total", "Other failed requests (bad input, unknown database, oversized body).", float64(m.errors.Load()))
 	p.Counter("rpserved_mined_total", "Mining runs actually executed.", float64(m.mined.Load()))
+	p.Counter("rpserved_uploads_total", "Dataset uploads received.", float64(m.uploads.Load()))
+	p.Counter("rpserved_dataset_evictions_total", "Datasets displaced by the registry's LRU bounds.", float64(m.datasetEvictions.Load()))
 
 	buckets, nanos := m.mining.snapshot()
 	p.Histogram("rpserved_mining_seconds", "Wall time per executed mining run.",

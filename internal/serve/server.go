@@ -68,6 +68,21 @@ type Config struct {
 	// http.MaxBytesReader; over-limit requests are rejected with 413.
 	// 0 → 1 MiB, negative → unlimited.
 	MaxBody int64
+	// MaxUpload caps a POST /v1/datasets body in bytes, with the same 413
+	// shape as MaxBody. It is separate because datasets are legitimately
+	// orders of magnitude larger than mine requests. 0 → 64 MiB, negative →
+	// unlimited.
+	MaxUpload int64
+	// RegistryMaxBytes bounds the estimated resident size of all registered
+	// datasets; least recently mined datasets are evicted to stay under it.
+	// 0 → 256 MiB, negative → unbounded.
+	RegistryMaxBytes int64
+	// RegistryMaxEntries bounds the number of registered datasets. 0 → 64,
+	// negative → unbounded.
+	RegistryMaxEntries int
+	// SpillDir is where uploads are spilled before parsing. "" →
+	// os.TempDir() (via os.CreateTemp's convention).
+	SpillDir string
 	// JournalSize caps the request journal backing /debug/requests, in
 	// entries. 0 → 64, negative → journal (and the /debug/requests
 	// endpoints) disabled.
@@ -119,6 +134,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody < 0 {
 		c.MaxBody = 0
 	}
+	if c.MaxUpload == 0 {
+		c.MaxUpload = 64 << 20
+	}
+	if c.MaxUpload < 0 {
+		c.MaxUpload = 0
+	}
+	if c.RegistryMaxBytes == 0 {
+		c.RegistryMaxBytes = 256 << 20
+	}
+	if c.RegistryMaxBytes < 0 {
+		c.RegistryMaxBytes = 0
+	}
+	if c.RegistryMaxEntries == 0 {
+		c.RegistryMaxEntries = 64
+	}
+	if c.RegistryMaxEntries < 0 {
+		c.RegistryMaxEntries = 0
+	}
 	if c.JournalSize == 0 {
 		c.JournalSize = 64
 	}
@@ -141,15 +174,16 @@ type dbEntry struct {
 // Server is the mining service. Create with NewServer, mount Handler on an
 // http.Server, and call Drain before exiting.
 type Server struct {
-	cfg     Config
-	dbs     map[string]*dbEntry
-	names   []string // sorted, for deterministic listings
-	adm     *admission
-	cache   *resultCache
-	flight  *flightGroup
-	metrics metrics
-	journal *journal // nil when Config.JournalSize is negative
-	handler http.Handler
+	cfg      Config
+	dbs      map[string]*dbEntry
+	names    []string // sorted, for deterministic listings
+	registry *registry
+	adm      *admission
+	cache    *resultCache
+	flight   *flightGroup
+	metrics  metrics
+	journal  *journal // nil when Config.JournalSize is negative
+	handler  http.Handler
 
 	// mineFn runs one mine; tests substitute stubs to simulate slow or
 	// failing miners without real databases.
@@ -163,20 +197,19 @@ type Server struct {
 	idle     chan struct{} // non-nil while a Drain waits for active==0
 }
 
-// NewServer builds a Server over the given databases (name → DB). At least
-// one database is required.
+// NewServer builds a Server over the given databases (name → DB). The map
+// may be empty: a registry-only server starts with no preloaded databases
+// and serves whatever clients upload to POST /v1/datasets.
 func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
-	if len(dbs) == 0 {
-		return nil, errors.New("serve: no databases to serve")
-	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		dbs:    make(map[string]*dbEntry, len(dbs)),
-		adm:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
-		cache:  newResultCache(cfg.CacheSize),
-		flight: newFlightGroup(),
-		mineFn: core.MineContext,
+		cfg:      cfg,
+		dbs:      make(map[string]*dbEntry, len(dbs)),
+		registry: newRegistry(cfg.RegistryMaxBytes, cfg.RegistryMaxEntries),
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
+		cache:    newResultCache(cfg.CacheSize),
+		flight:   newFlightGroup(),
+		mineFn:   core.MineContext,
 	}
 	if cfg.JournalSize > 0 {
 		s.journal = newJournal(cfg.JournalSize, cfg.SlowThreshold)
@@ -192,6 +225,9 @@ func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	mux.HandleFunc("DELETE /v1/datasets/{fp}", s.handleDatasetDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -287,6 +323,7 @@ func (s *Server) endMine() {
 // database's size via MinPSFromPercent.
 type mineRequest struct {
 	DB           string  `json:"db"`           // database name; optional when only one is served
+	Dataset      string  `json:"dataset"`      // registered dataset fingerprint (16 hex digits); alternative to db
 	Per          int64   `json:"per"`          // period threshold
 	MinPS        int     `json:"minPS"`        // absolute minimum periodic support
 	MinPSPercent float64 `json:"minPSPercent"` // minPS as a % of |TDB| (used when minPS is 0)
@@ -408,11 +445,33 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ent, status, err := s.lookupDB(req.DB)
-	if err != nil {
-		rec.deny("unknown-db", status)
-		s.fail(w, status, "%v", err)
+	// Resolve the target: a registered dataset by fingerprint, or a
+	// preloaded database by name. Either way no transaction data rides in
+	// the request — mine-by-reference is what makes repeat mining cheap.
+	var ent *dbEntry
+	switch {
+	case req.Dataset != "" && req.DB != "":
+		rec.deny("bad-request", http.StatusBadRequest)
+		s.fail(w, http.StatusBadRequest, "serve: set db or dataset, not both")
 		return
+	case req.Dataset != "":
+		var status int
+		var err error
+		ent, status, err = s.lookupDataset(req.Dataset)
+		if err != nil {
+			rec.deny("unknown-dataset", status)
+			s.fail(w, status, "%v", err)
+			return
+		}
+	default:
+		var status int
+		var err error
+		ent, status, err = s.lookupDB(req.DB)
+		if err != nil {
+			rec.deny("unknown-db", status)
+			s.fail(w, status, "%v", err)
+			return
+		}
 	}
 	rec.db, rec.fp = ent.name, fmt.Sprintf("%016x", ent.fp)
 
@@ -614,6 +673,10 @@ func (s *Server) lookupDB(name string) (*dbEntry, int, error) {
 		if len(s.names) == 1 {
 			return s.dbs[s.names[0]], 0, nil
 		}
+		if len(s.names) == 0 {
+			return nil, http.StatusBadRequest, errors.New(
+				"serve: no preloaded databases; upload one to /v1/datasets and mine it by fingerprint")
+		}
 		return nil, http.StatusBadRequest,
 			fmt.Errorf("serve: request must name a database (serving %d)", len(s.names))
 	}
@@ -645,6 +708,7 @@ type statsResponse struct {
 	// 0 before the first lookup.
 	CacheHitRatio float64         `json:"cacheHitRatio"`
 	Databases     []dbInfo        `json:"databases"`
+	Registry      registryStats   `json:"registry"`
 	Metrics       MetricsSnapshot `json:"metrics"`
 	Runtime       runtimeInfo     `json:"runtime"`
 	Config        configInfo      `json:"config"`
@@ -696,6 +760,16 @@ type configInfo struct {
 	JournalSize    int    `json:"journalSize"`
 	SlowThreshold  string `json:"slowThreshold"`
 	TimelineSpans  int    `json:"timelineSpans"`
+	MaxUpload      int64  `json:"maxUpload"`
+	RegistryBytes  int64  `json:"registryMaxBytes"`
+	RegistryCap    int    `json:"registryMaxEntries"`
+}
+
+// registryStats is the dataset-registry section of /v1/stats.
+type registryStats struct {
+	Entries  int           `json:"entries"`
+	Bytes    int64         `json:"bytes"`
+	Datasets []datasetInfo `json:"datasets"`
 }
 
 func (s *Server) statsPayload() statsResponse {
@@ -719,7 +793,16 @@ func (s *Server) statsPayload() statsResponse {
 			JournalSize:    s.cfg.JournalSize,
 			SlowThreshold:  s.cfg.SlowThreshold.String(),
 			TimelineSpans:  s.cfg.TimelineSpans,
+			MaxUpload:      s.cfg.MaxUpload,
+			RegistryBytes:  s.cfg.RegistryMaxBytes,
+			RegistryCap:    s.cfg.RegistryMaxEntries,
 		},
+	}
+	entries, bytes := s.registry.stats()
+	resp.Registry = registryStats{
+		Entries:  entries,
+		Bytes:    bytes,
+		Datasets: s.registry.snapshot(),
 	}
 	for _, name := range s.names {
 		ent := s.dbs[name]
@@ -755,6 +838,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("rpserved_queue_depth", "Requests waiting for a mining slot.", float64(s.adm.waiting()))
 	p.Gauge("rpserved_cache_entries", "Entries in the result cache.", float64(s.cache.len()))
 	p.Gauge("rpserved_cache_hit_ratio", "Lifetime fraction of cache lookups that hit.", s.cacheHitRatio())
+	regEntries, regBytes := s.registry.stats()
+	p.Gauge("rpserved_datasets", "Datasets currently in the registry.", float64(regEntries))
+	p.Gauge("rpserved_registry_bytes", "Estimated resident bytes of registered datasets.", float64(regBytes))
 	draining := 0.0
 	if s.Draining() {
 		draining = 1

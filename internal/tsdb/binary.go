@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -180,13 +181,42 @@ func ReadBinary(r io.Reader) (*DB, error) {
 	return db, nil
 }
 
-// ReadAny detects the on-disk format (binary or text) by peeking at the
-// magic bytes and parses accordingly.
+// ReadAny detects the on-disk format (mapped v2, binary v1, or text) by
+// peeking at the magic bytes and parses accordingly. Buffered or seekable
+// inputs are slurped so text goes through the parallel parser and mapped
+// data needs no copy; true streams are peeked through a bufio.Reader.
 func ReadAny(r io.Reader) (*DB, error) {
+	if data, ok, err := slurp(r); ok {
+		if err != nil {
+			return nil, err
+		}
+		return ReadAnyBytes(data)
+	}
 	br := bufio.NewReader(r)
-	magic, err := br.Peek(len(binaryMagic))
-	if err == nil && string(magic) == binaryMagic {
+	magic, _ := br.Peek(len(mappedMagic))
+	if string(magic) == mappedMagic {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, err
+		}
+		return ReadMapped(data)
+	}
+	if len(magic) >= len(binaryMagic) && string(magic[:len(binaryMagic)]) == binaryMagic {
 		return ReadBinary(br)
 	}
 	return Read(br)
+}
+
+// ReadAnyBytes is ReadAny over a fully buffered input: format sniff, then
+// the zero-copy path for each format (parallel parse for text, in-place
+// view for mapped). The returned DB may alias data; callers must not
+// modify it afterwards.
+func ReadAnyBytes(data []byte) (*DB, error) {
+	if len(data) >= len(mappedMagic) && string(data[:len(mappedMagic)]) == mappedMagic {
+		return ReadMapped(data)
+	}
+	if len(data) >= len(binaryMagic) && string(data[:len(binaryMagic)]) == binaryMagic {
+		return ReadBinary(bytes.NewReader(data))
+	}
+	return ReadBytes(data)
 }

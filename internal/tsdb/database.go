@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 )
 
 // Transaction is one row of a temporally ordered transactional database: the
@@ -33,9 +34,20 @@ func (t Transaction) Contains(pattern []ItemID) bool {
 // DB is a transactional database constructed from a time series. Transactions
 // are strictly ordered by timestamp and each timestamp appears at most once
 // (paper Section 3: transactions are uniquely identifiable by timestamp).
+//
+// A DB must not be copied by value once Fingerprint has been called (the
+// cache embeds a sync.Once); share it by pointer, as every constructor in
+// this package already does.
 type DB struct {
 	Dict  *Dictionary
 	Trans []Transaction
+
+	// Fingerprint cache: content hashing is O(database) and callers (the
+	// serve cache, the journal) ask per request, so the first computation
+	// is kept. Mutating Dict or Trans after that first call is a misuse;
+	// loaders and builders here never do.
+	fpOnce sync.Once
+	fpVal  uint64
 }
 
 // Builder accumulates events and produces a DB. It implements the

@@ -1,0 +1,78 @@
+package tsdb
+
+import (
+	"io"
+	"os"
+)
+
+// ReadFile loads a database file of any format into memory: text goes
+// through the chunked parallel parser, v1 binary through the varint
+// decoder, and mapped v2 through the in-place view over the heap buffer.
+// The result never references the file; use OpenFile to keep a mapped
+// file on disk instead.
+func ReadFile(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ReadAnyBytes(data)
+}
+
+// File is an open database file. For mapped-format (v2) files the view
+// aliases an mmap of the file and Close releases it; for text and v1
+// binary files the database is heap-resident and Close is a no-op kept
+// for symmetry.
+type File struct {
+	db *DB
+	m  *Mapped // non-nil iff the file was opened via mmap
+}
+
+// DB returns the database. For a mapped file it is valid until Close.
+func (f *File) DB() *DB { return f.db }
+
+// Mapped reports whether the database view aliases a file mapping (and
+// therefore dies with Close).
+func (f *File) Mapped() bool { return f.m != nil }
+
+// Close releases any file mapping backing the database view.
+func (f *File) Close() error {
+	if f.m != nil {
+		m := f.m
+		f.m, f.db = nil, nil
+		return m.Close()
+	}
+	f.db = nil
+	return nil
+}
+
+// OpenFile opens a database file of any format, memory-mapping it when
+// the format allows (mapped v2) and loading it into memory otherwise.
+// This is the cheapest way to get at a database that lives for the rest
+// of the process — CLIs and server startup loads — while ReadFile is the
+// right call when the database must outlive the file.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [len(mappedMagic)]byte
+	n, err := io.ReadFull(f, magic[:])
+	if closeErr := f.Close(); err == nil && closeErr != nil {
+		return nil, closeErr
+	}
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, err
+	}
+	if n == len(magic) && string(magic[:]) == mappedMagic {
+		m, err := OpenMapped(path)
+		if err != nil {
+			return nil, err
+		}
+		return &File{db: m.DB(), m: m}, nil
+	}
+	db, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{db: db}, nil
+}

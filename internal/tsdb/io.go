@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -47,7 +48,40 @@ func Write(w io.Writer, db *DB) error {
 // Read parses a database from the text transaction format. Transactions may
 // appear in any order and duplicate timestamps are merged; the result is
 // temporally ordered.
+//
+// When the input is already in memory (*bytes.Buffer) or seekable (a file,
+// *bytes.Reader, *strings.Reader), Read slurps it and parses through the
+// chunked parallel path (ReadBytes); true streams fall back to the
+// sequential line scanner. Both paths accept the same language and produce
+// identical databases.
 func Read(r io.Reader) (*DB, error) {
+	if data, ok, err := slurp(r); ok {
+		if err != nil {
+			return nil, err
+		}
+		return ReadBytes(data)
+	}
+	return readSequential(r)
+}
+
+// slurp returns the reader's full contents when that is cheap and safe:
+// buffered readers hand over their bytes, seekable ones are read to EOF.
+// ok=false means the caller should stream instead.
+func slurp(r io.Reader) (data []byte, ok bool, err error) {
+	switch v := r.(type) {
+	case *bytes.Buffer:
+		return v.Bytes(), true, nil
+	case io.ReadSeeker:
+		data, err := io.ReadAll(v)
+		return data, true, err
+	}
+	return nil, false, nil
+}
+
+// readSequential is the streaming text parser: one bufio.Scanner pass,
+// used for pipes and other non-seekable inputs (and by tests as the
+// reference implementation the parallel parser must match).
+func readSequential(r io.Reader) (*DB, error) {
 	b := NewBuilder()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package tsdb
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes OpenMapped take its read-into-memory fallback on
+// platforms without a memory-map shim.
+var errNoMmap = errors.New("tsdb: mmap not supported on this platform")
+
+func mmapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	return nil, false, errNoMmap
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,34 @@
+//go:build unix
+
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. mapped=true means the returned
+// slice must be released with munmapFile. Empty files get an empty heap
+// slice (mmap of length 0 is an error on most Unixes).
+func mmapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	if size < 0 || int64(int(size)) != size {
+		return nil, false, fmt.Errorf("tsdb: file too large to map (%d bytes)", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

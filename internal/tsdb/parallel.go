@@ -1,0 +1,446 @@
+package tsdb
+
+import (
+	"bytes"
+	"cmp"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Chunked parallel text ingest (the One Billion Row Challenge playbook,
+// adapted to the TDB text format):
+//
+//  1. Split the input on newline boundaries into ~4×workers byte chunks.
+//  2. Each worker parses its chunk with zero-copy []byte scanning into a
+//     partial: a chunk-local dictionary (names in chunk first-seen order)
+//     and chunk-local transactions (timestamp → local item IDs), sorted by
+//     timestamp while still inside the worker.
+//  3. A deterministic merge interns each partial's names into the global
+//     dictionary in chunk order — which reproduces the whole-file
+//     first-seen intern order exactly, since a name's first occurrence
+//     lies in the first chunk that mentions it — then k-way merges the
+//     sorted partial transaction lists, remapping local to global IDs.
+//  4. A final parallel pass sorts and dedups every transaction's items.
+//
+// The result is byte-identical (same fingerprint) to the sequential
+// parser's for every input both accept; see TestReadBytesMatchesSequential
+// and FuzzReadParallel for the pinned equivalence.
+
+// maxLineLen bounds one input line, matching the sequential parser's
+// bufio.Scanner token limit so both paths accept the same language.
+const maxLineLen = 16 * 1024 * 1024
+
+// minChunkBytes keeps tiny inputs on a single worker: below it the
+// scheduling and merge overhead costs more than the parallelism returns.
+const minChunkBytes = 64 * 1024
+
+// ReadBytes parses a database from the text transaction format held in
+// memory, using up to GOMAXPROCS parallel chunk parsers. It accepts
+// exactly the language Read accepts and produces an identical database
+// (same dictionary order, same fingerprint).
+func ReadBytes(data []byte) (*DB, error) {
+	return ReadBytesWorkers(data, runtime.GOMAXPROCS(0))
+}
+
+// ReadBytesWorkers is ReadBytes with an explicit worker count; values
+// below 2 (or inputs too small to split) parse on the calling goroutine.
+func ReadBytesWorkers(data []byte, workers int) (*DB, error) {
+	chunks := splitChunks(data, chunkCount(len(data), workers))
+	parts := make([]*ingestPartial, len(chunks))
+	if len(chunks) <= 1 {
+		for i, c := range chunks {
+			parts[i] = parseChunk(c.data, c.off)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, c := range chunks {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, c ingestChunk) {
+				defer wg.Done()
+				parts[i] = parseChunk(c.data, c.off)
+				<-sem
+			}(i, c)
+		}
+		wg.Wait()
+	}
+	return mergePartials(data, parts, workers)
+}
+
+// chunkCount picks how many chunks to split n bytes into: roughly four
+// per worker for balance (chunks parse at different speeds), floored so
+// no chunk drops under minChunkBytes.
+func chunkCount(n, workers int) int {
+	if workers < 2 || n < 2*minChunkBytes {
+		return 1
+	}
+	c := 4 * workers
+	if max := n / minChunkBytes; c > max {
+		c = max
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ingestChunk is one newline-aligned slice of the input and its byte
+// offset in the whole buffer (for error line numbers).
+type ingestChunk struct {
+	data []byte
+	off  int
+}
+
+// splitChunks cuts data into at most n chunks, advancing every boundary
+// to the byte after the next '\n' so no line spans two chunks. The final
+// chunk keeps any unterminated last line.
+func splitChunks(data []byte, n int) []ingestChunk {
+	if n <= 1 || len(data) == 0 {
+		return []ingestChunk{{data: data}}
+	}
+	chunks := make([]ingestChunk, 0, n)
+	target := len(data) / n
+	start := 0
+	for start < len(data) {
+		if len(chunks) == n-1 {
+			chunks = append(chunks, ingestChunk{data: data[start:], off: start})
+			break
+		}
+		end := start + target
+		if end >= len(data) {
+			end = len(data)
+		} else {
+			nl := bytes.IndexByte(data[end:], '\n')
+			if nl < 0 {
+				end = len(data)
+			} else {
+				end += nl + 1
+			}
+		}
+		chunks = append(chunks, ingestChunk{data: data[start:end], off: start})
+		start = end
+	}
+	return chunks
+}
+
+// partialTx is one chunk-local transaction: a timestamp and the local
+// item IDs observed at it, in input order, duplicates included.
+type partialTx struct {
+	ts    int64
+	items []ItemID // chunk-local IDs; remapped during the merge
+}
+
+// ingestPartial is one worker's chunk parse result.
+type ingestPartial struct {
+	names []string          // chunk-local dictionary, first-seen order
+	ids   map[string]ItemID // name → chunk-local ID
+	trans []partialTx       // sorted by ts, one entry per distinct ts
+
+	err    error // first parse error in the chunk, with a placeholder line
+	errOff int   // absolute byte offset of the offending line (for line numbers)
+}
+
+// asciiSpace marks the ASCII whitespace bytes strings.Fields splits on.
+var asciiSpace = [256]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
+
+// parseChunk scans one newline-aligned chunk with zero-copy []byte
+// operations: no sc.Text() string churn, map lookups via the compiler's
+// string(b) key optimization, and a single map access pair per line.
+// Semantics mirror the sequential parser exactly: lines are trimmed,
+// '#' comments and blanks skipped, the timestamp is cut at the first tab
+// (or, failing that, the first space), and items split on whitespace.
+func parseChunk(chunk []byte, base int) *ingestPartial {
+	p := &ingestPartial{ids: make(map[string]ItemID), errOff: -1}
+	groups := make(map[int64]int) // ts → index into p.trans
+	for off := 0; off < len(chunk); {
+		lineStart := off
+		var line []byte
+		if nl := bytes.IndexByte(chunk[off:], '\n'); nl >= 0 {
+			line = chunk[off : off+nl]
+			off += nl + 1
+		} else {
+			line = chunk[off:]
+			off = len(chunk)
+		}
+		if len(line) > maxLineLen {
+			p.fail(base+lineStart, fmt.Errorf("line longer than %d bytes", maxLineLen))
+			return p
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		tsb, rest, ok := cutByte(line, '\t')
+		if !ok {
+			tsb, rest, ok = cutByte(line, ' ')
+			if !ok {
+				p.fail(base+lineStart, fmt.Errorf("missing item list"))
+				return p
+			}
+		}
+		ts, err := parseTimestamp(bytes.TrimSpace(tsb))
+		if err != nil {
+			p.fail(base+lineStart, fmt.Errorf("bad timestamp %q: %v", tsb, err))
+			return p
+		}
+		// One group lookup per line: all its items share the timestamp.
+		gi, seen := groups[ts]
+		if !seen {
+			gi = len(p.trans)
+			groups[ts] = gi
+			p.trans = append(p.trans, partialTx{ts: ts})
+		}
+		items := p.trans[gi].items
+		n := len(items)
+		for len(rest) > 0 {
+			tok := nextField(&rest)
+			if tok == nil {
+				break
+			}
+			id, ok := p.ids[string(tok)] // no alloc: map lookup on []byte key
+			if !ok {
+				name := string(tok)
+				id = ItemID(len(p.names))
+				p.ids[name] = id
+				p.names = append(p.names, name)
+			}
+			items = append(items, id)
+		}
+		if len(items) == n {
+			p.fail(base+lineStart, fmt.Errorf("empty transaction"))
+			return p
+		}
+		p.trans[gi].items = items
+	}
+	slices.SortFunc(p.trans, func(a, b partialTx) int { return cmp.Compare(a.ts, b.ts) })
+	return p
+}
+
+// fail records the chunk's parse error with the offending line's absolute
+// byte offset; the merge converts offsets to line numbers (counting
+// newlines only on the error path keeps the hot loop clean).
+func (p *ingestPartial) fail(off int, err error) {
+	p.err, p.errOff = err, off
+}
+
+// cutByte is strings.Cut for a byte separator on a []byte, allocation-free.
+func cutByte(b []byte, sep byte) (before, after []byte, found bool) {
+	if i := bytes.IndexByte(b, sep); i >= 0 {
+		return b[:i], b[i+1:], true
+	}
+	return b, nil, false
+}
+
+// nextField returns the next whitespace-separated token of *rest and
+// advances past it, with strings.Fields semantics: ASCII whitespace via a
+// table, multi-byte runes through unicode.IsSpace. Returns nil when only
+// whitespace remains.
+func nextField(rest *[]byte) []byte {
+	b := *rest
+	i := 0
+	for i < len(b) {
+		if c := b[i]; c < utf8.RuneSelf {
+			if !asciiSpace[c] {
+				break
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRune(b[i:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		i += size
+	}
+	if i == len(b) {
+		*rest = nil
+		return nil
+	}
+	start := i
+	for i < len(b) {
+		if c := b[i]; c < utf8.RuneSelf {
+			if asciiSpace[c] {
+				break
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRune(b[i:])
+		if unicode.IsSpace(r) {
+			break
+		}
+		i += size
+	}
+	*rest = b[i:]
+	return b[start:i]
+}
+
+// parseTimestamp is strconv.ParseInt(string(b), 10, 64) over bytes,
+// allocation-free, with the same accepted language (optional sign, base-10
+// digits, overflow rejected).
+func parseTimestamp(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty")
+	}
+	neg := false
+	switch b[0] {
+	case '-':
+		neg = true
+		b = b[1:]
+	case '+':
+		b = b[1:]
+	}
+	if len(b) == 0 {
+		return 0, fmt.Errorf("no digits")
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("invalid digit %q", c)
+		}
+		d := uint64(c - '0')
+		if v > (1<<63)/10 {
+			return 0, fmt.Errorf("value out of range")
+		}
+		v = v*10 + d
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, fmt.Errorf("value out of range")
+		}
+		return -int64(v-1) - 1, nil // avoids overflow for exactly 1<<63
+	}
+	if v > 1<<63-1 {
+		return 0, fmt.Errorf("value out of range")
+	}
+	return int64(v), nil
+}
+
+// mergePartials combines the chunk parse results into one DB. The merge is
+// deterministic: partials are visited in chunk (input) order, so the
+// global dictionary reproduces the whole-file first-seen intern order, and
+// the k-way timestamp merge breaks ties by chunk order, so concatenated
+// item lists are stable before the final sort+dedup normalizes them.
+func mergePartials(data []byte, parts []*ingestPartial, workers int) (*DB, error) {
+	// The earliest failing line wins, as the sequential parser would have
+	// stopped there; its line number is recovered by counting newlines.
+	errOff, errAt := -1, -1
+	for i, p := range parts {
+		if p.err != nil && (errOff < 0 || p.errOff < errOff) {
+			errOff, errAt = p.errOff, i
+		}
+	}
+	if errAt >= 0 {
+		line := 1 + bytes.Count(data[:errOff], []byte{'\n'})
+		return nil, fmt.Errorf("tsdb: line %d: %v", line, parts[errAt].err)
+	}
+
+	// Global dictionary: intern every partial's names in chunk order.
+	dict := NewDictionary()
+	remaps := make([][]ItemID, len(parts))
+	if len(parts) == 1 {
+		// Single chunk: its local dictionary already is the global one.
+		p := parts[0]
+		if p.names != nil {
+			dict = &Dictionary{byName: p.ids, names: p.names}
+		}
+		remaps[0] = nil // identity
+	} else {
+		for i, p := range parts {
+			rm := make([]ItemID, len(p.names))
+			for j, name := range p.names {
+				rm[j] = dict.Intern(name)
+			}
+			remaps[i] = rm
+		}
+	}
+
+	// K-way merge of the sorted partial transaction lists. Equal
+	// timestamps across chunks concatenate in chunk order; the items stay
+	// local IDs here and are remapped during the copy.
+	total := 0
+	for _, p := range parts {
+		total += len(p.trans)
+	}
+	trans := make([]Transaction, 0, total)
+	heads := make([]int, len(parts))
+	for {
+		best := -1
+		var bestTS int64
+		for i, p := range parts {
+			if heads[i] >= len(p.trans) {
+				continue
+			}
+			if ts := p.trans[heads[i]].ts; best < 0 || ts < bestTS {
+				best, bestTS = i, ts
+			}
+		}
+		if best < 0 {
+			break
+		}
+		var items []ItemID
+		for i := best; i < len(parts); i++ {
+			p := parts[i]
+			if heads[i] >= len(p.trans) || p.trans[heads[i]].ts != bestTS {
+				continue
+			}
+			local := p.trans[heads[i]].items
+			heads[i]++
+			if rm := remaps[i]; rm != nil {
+				for _, lid := range local {
+					items = append(items, rm[lid])
+				}
+			} else if items == nil {
+				items = local
+			} else {
+				items = append(items, local...)
+			}
+		}
+		trans = append(trans, Transaction{TS: bestTS, Items: items})
+	}
+
+	normalizeItems(trans, workers)
+	return &DB{Dict: dict, Trans: trans}, nil
+}
+
+// normalizeItems sorts and dedups every transaction's item list, in
+// parallel for large databases. Per-transaction work is independent, so
+// the split is a plain index partition.
+func normalizeItems(trans []Transaction, workers int) {
+	if workers > len(trans)/1024 {
+		workers = len(trans) / 1024
+	}
+	if workers < 2 {
+		for i := range trans {
+			trans[i].Items = sortDedup(trans[i].Items)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	stride := (len(trans) + workers - 1) / workers
+	for start := 0; start < len(trans); start += stride {
+		end := start + stride
+		if end > len(trans) {
+			end = len(trans)
+		}
+		wg.Add(1)
+		go func(part []Transaction) {
+			defer wg.Done()
+			for i := range part {
+				part[i].Items = sortDedup(part[i].Items)
+			}
+		}(trans[start:end])
+	}
+	wg.Wait()
+}
+
+// sortDedup sorts an item list and removes duplicates in place.
+func sortDedup(items []ItemID) []ItemID {
+	slices.Sort(items)
+	return slices.Compact(items)
+}

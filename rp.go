@@ -144,10 +144,28 @@ func NewBuilder() *Builder { return tsdb.NewBuilder() }
 // FromEvents builds a database directly from an event sequence.
 func FromEvents(events EventSequence) *DB { return tsdb.FromEvents(events) }
 
-// ReadDB parses a database from either supported on-disk format: the text
-// transaction format ("timestamp<TAB>item item ..." lines) or the compact
-// binary format, detected automatically.
+// ReadDB parses a database from any supported on-disk format — the text
+// transaction format ("timestamp<TAB>item item ..." lines), the compact v1
+// binary format, or the mmap-able v2 layout — detected automatically.
+// Seekable and in-memory text inputs parse through the chunked parallel
+// scanner; use ReadDBFile or OpenDBFile when the input is a file.
 func ReadDB(r io.Reader) (*DB, error) { return tsdb.ReadAny(r) }
+
+// ReadDBFile loads a database file in any supported format fully into
+// memory. Text parses in parallel; the v2 mapped layout materializes its
+// view without a per-item decode loop.
+func ReadDBFile(path string) (*DB, error) { return tsdb.ReadFile(path) }
+
+// DBFile is an opened database file (see OpenDBFile). Close releases the
+// mapping when the file was memory-mapped; the DB must not be used after.
+type DBFile = tsdb.File
+
+// OpenDBFile opens a database file in any supported format. Files in the
+// v2 mapped layout are memory-mapped where the platform allows: the
+// timestamp and item sections are used in place, so opening is metadata
+// validation rather than a decode of every item. Other formats load as
+// ReadDBFile does. Callers own the returned handle and must Close it.
+func OpenDBFile(path string) (*DBFile, error) { return tsdb.OpenFile(path) }
 
 // WriteDB serializes a database in the text transaction format.
 func WriteDB(w io.Writer, db *DB) error { return tsdb.Write(w, db) }
@@ -155,6 +173,12 @@ func WriteDB(w io.Writer, db *DB) error { return tsdb.Write(w, db) }
 // WriteDBBinary serializes a database in the compact binary format
 // (typically several times smaller than the text format).
 func WriteDBBinary(w io.Writer, db *DB) error { return tsdb.WriteBinary(w, db) }
+
+// WriteDBMapped serializes a database in the mmap-able v2 layout: aligned
+// little-endian sections behind a versioned header, loadable with
+// OpenDBFile as a read-only view with no decode loop. Timestamps must be
+// strictly increasing (guaranteed for databases built by this package).
+func WriteDBMapped(w io.Writer, db *DB) error { return tsdb.WriteMapped(w, db) }
 
 // ComputeStats summarizes a database.
 func ComputeStats(db *DB) Stats { return tsdb.ComputeStats(db) }

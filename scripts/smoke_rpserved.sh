@@ -3,8 +3,10 @@
 # build, start on an ephemeral port, health-check, mine twice (the second
 # must be a cache hit), verify the stats counters, walk the request
 # journal (/debug/requests, HTML and JSON) and validate a downloaded
-# per-request trace with rptrace, then SIGTERM and check the drain path
-# exits cleanly. Needs curl; run from anywhere.
+# per-request trace with rptrace, exercise the dataset registry (upload →
+# mine by fingerprint → cached repeat → delete, with ingest-phase
+# attribution visible in the journal and /metrics), then SIGTERM and check
+# the drain path exits cleanly. Needs curl; run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -99,6 +101,57 @@ curl -sf "http://$addr/debug/requests/trace?id=$rid" -o "$workdir/run.json"
 echo "== access log lines"
 grep -q 'outcome=ok' "$workdir/serve.log" || { echo "missing ok access-log line"; cat "$workdir/serve.log"; exit 1; }
 grep -q 'outcome=cache-hit' "$workdir/serve.log" || { echo "missing cache-hit access-log line"; cat "$workdir/serve.log"; exit 1; }
+
+echo "== dataset upload"
+up=$(curl -sf "http://$addr/v1/datasets" --data-binary @"$workdir/shop.tdb")
+fp=$(grep -o '"fingerprint": "[0-9a-f]*"' <<<"$up" | head -1 | sed 's/.*"\([0-9a-f]*\)"$/\1/')
+[ ${#fp} -eq 16 ] || { echo "upload returned no fingerprint: $up"; exit 1; }
+grep -q '"existing": false' <<<"$up" || { echo "fresh upload marked existing: $up"; exit 1; }
+echo "   registered $fp"
+
+echo "== dataset listing"
+ls_json=$(curl -sf "http://$addr/v1/datasets")
+grep -q "\"fingerprint\": \"$fp\"" <<<"$ls_json" || { echo "listing missing $fp: $ls_json"; exit 1; }
+grep -q '"count": 1' <<<"$ls_json" || { echo "listing count != 1: $ls_json"; exit 1; }
+
+echo "== mine by fingerprint hits the named mine's cache entry"
+# The uploaded file is the same content as the preloaded "shop" database,
+# and the result cache is keyed by content fingerprint — so mining the
+# dataset with the options already mined under the name is a cache hit
+# across the two addressing schemes.
+xnaming=$(curl -sf "http://$addr/v1/mine" -d "{\"dataset\":\"$fp\",\"per\":60,\"minPSPercent\":2,\"minRec\":1,\"maxLen\":2}")
+grep -q '"cached": true' <<<"$xnaming" || { echo "fp mine of identical content+options missed the cache: $xnaming"; exit 1; }
+cold_count=$(grep -o '"count": [0-9]*' <<<"$cold" | head -1)
+fp_count=$(grep -o '"count": [0-9]*' <<<"$xnaming" | head -1)
+[ "$cold_count" = "$fp_count" ] || { echo "fp mine found $fp_count, named mine $cold_count"; exit 1; }
+
+echo "== mine by fingerprint (cold: new options)"
+fpreq="{\"dataset\":\"$fp\",\"per\":60,\"minPSPercent\":2,\"minRec\":1,\"maxLen\":3}"
+fpcold=$(curl -sf "http://$addr/v1/mine" -d "$fpreq")
+grep -q '"cached": false' <<<"$fpcold" || { echo "first fp mine with new options was cached: $fpcold"; exit 1; }
+
+echo "== mine by fingerprint (cached: no body, no parse)"
+fpwarm=$(curl -sf "http://$addr/v1/mine" -d "$fpreq")
+grep -q '"cached": true' <<<"$fpwarm" || { echo "repeat fp mine missed the cache: $fpwarm"; exit 1; }
+
+echo "== ingest phase attributed to the upload only"
+journal2=$(curl -sf "http://$addr/debug/requests?format=json")
+grep -q '"outcome": "uploaded"' <<<"$journal2" || { echo "journal missing the upload: $journal2"; exit 1; }
+n_ingest=$(grep -c '"phase": "ingest"' <<<"$journal2" || true)
+[ "$n_ingest" -eq 1 ] || { echo "want exactly 1 ingest phase entry (the upload), got $n_ingest: $journal2"; exit 1; }
+
+echo "== registry metrics"
+metrics2=$(curl -sf "http://$addr/metrics")
+grep -q '^rpserved_uploads_total 1$' <<<"$metrics2" || { echo "metrics missing uploads counter: $metrics2"; exit 1; }
+grep -q '^rpserved_datasets 1$' <<<"$metrics2" || { echo "metrics missing datasets gauge: $metrics2"; exit 1; }
+grep -q '^rpserved_phase_seconds_bucket{phase="ingest",le="+Inf"} 1$' <<<"$metrics2" \
+    || { echo "metrics missing the ingest phase histogram: $metrics2"; exit 1; }
+
+echo "== dataset delete"
+del_status=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$addr/v1/datasets/$fp")
+[ "$del_status" = "204" ] || { echo "delete returned $del_status"; exit 1; }
+gone_status=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/mine" -d "$fpreq")
+[ "$gone_status" = "404" ] || { echo "mine after delete returned $gone_status"; exit 1; }
 
 echo "== graceful shutdown"
 kill -TERM "$server_pid"
