@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 	"github.com/recurpat/rp"
 	"github.com/recurpat/rp/internal/cliio"
 	"github.com/recurpat/rp/internal/obs"
+	"github.com/recurpat/rp/internal/shard"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func run(args []string, dst, errDst io.Writer) error {
 		minRec     = fs.Int("minrec", 1, "minimum recurrence")
 		maxLen     = fs.Int("maxlen", 0, "maximum pattern length (0 = unlimited)")
 		parallel   = fs.Int("parallel", 0, "mine top-level items with this many goroutines (0/1 = sequential)")
+		shards     = fs.Int("shards", 0, "mine as this many scatter-gather shard tasks (0/1 = off; output is identical)")
 		stats      = fs.Bool("stats", false, "print database and search statistics")
 		tsv        = fs.Bool("tsv", false, "tab-separated output instead of the pattern notation")
 		format     = fs.String("format", "", "output format: text (default), tsv, json or csv")
@@ -86,8 +89,11 @@ func run(args []string, dst, errDst io.Writer) error {
 		tl = rp.NewTimeline(*traceSpans)
 		o.Trace.AttachTimeline(tl)
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
+	}
 	err := cliio.Profile(*cpuProf, *memProf, func() error {
-		return mine(*input, *minPSPct, *stats, *tsv, *format, o, out, logger)
+		return mine(*input, *minPSPct, *shards, *stats, *tsv, *format, o, out, logger)
 	})
 	if err == nil && tl != nil {
 		if werr := writeTrace(*traceOut, *input, tl); werr != nil {
@@ -120,7 +126,7 @@ func writeTrace(path, input string, tl *rp.Timeline) error {
 
 // mine loads the database, runs the miner and renders the result; split from
 // run so the profiling wrapper brackets exactly the load-mine-print work.
-func mine(input string, minPSPct float64, stats, tsv bool, format string, o rp.Options, out *cliio.Writer, logger *slog.Logger) error {
+func mine(input string, minPSPct float64, shards int, stats, tsv bool, format string, o rp.Options, out *cliio.Writer, logger *slog.Logger) error {
 	loadStart := obs.Now()
 	var db *rp.DB
 	if input == "-" {
@@ -154,9 +160,23 @@ func mine(input string, minPSPct float64, stats, tsv bool, format string, o rp.O
 		fmt.Fprintf(out, "# thresholds: per=%d minPS=%d minRec=%d\n", o.Per, o.MinPS, o.MinRec)
 	}
 	mineStart := obs.Now()
-	res, err := rp.MineRaw(db, o)
-	if err != nil {
-		return err
+	var res *rp.Result
+	var err error
+	if shards > 1 {
+		// Scatter-gather over local shard tasks: the same planner, executor
+		// and reducer the -peers serving mode uses, minus the network. The
+		// pattern set is byte-identical to the direct mine.
+		c := &shard.Coordinator{Count: shards, Exec: shard.Local{}}
+		sres, serr := c.Mine(context.Background(), db, o)
+		if serr != nil {
+			return serr
+		}
+		res = sres.Result
+	} else {
+		res, err = rp.MineRaw(db, o)
+		if err != nil {
+			return err
+		}
 	}
 	logger.Info("mining done", "patterns", len(res.Patterns),
 		"per", o.Per, "minPS", o.MinPS, "minRec", o.MinRec,

@@ -21,6 +21,11 @@
 // once at end of stream and prints the same per-phase time and work
 // breakdown rpmine -phases prints, on stderr.
 //
+// With -remote URL the raw stream is additionally buffered and, at end of
+// stream, uploaded to an rpserved's dataset registry (POST /v1/datasets)
+// and mined there by fingerprint over the versioned wire API — the batch
+// check runs on the server instead of in-process.
+//
 // Example:
 //
 //	rpgen -dataset shop14 -scale 0.1 | rpmonitor -per 360 -minps 30 -window 10080 -watch cat22,cat37
@@ -28,14 +33,18 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/recurpat/rp"
+	"github.com/recurpat/rp/internal/api"
 	"github.com/recurpat/rp/internal/cliio"
 	"github.com/recurpat/rp/internal/ext"
 )
@@ -75,6 +84,7 @@ func run(args []string, in io.Reader, dst, errDst io.Writer) error {
 		final    = fs.Bool("final", true, "print the patterns recurring at end of stream")
 		emerging = fs.Bool("emerging", false, "print the RP-list candidate items over the whole stream at end")
 		phases   = fs.Bool("phases", false, "with -emerging: mine the accumulated stream at end and print a per-phase breakdown to stderr")
+		remote   = fs.String("remote", "", "rpserved base URL: at end of stream, upload the buffered stream to /v1/datasets and mine it remotely")
 	)
 	fs.Var(&watch, "watch", "comma-separated pattern to watch (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +112,13 @@ func run(args []string, in io.Reader, dst, errDst io.Writer) error {
 		feed = &incFeed{inc: inc}
 	}
 
+	// With -remote the raw stream is buffered so the whole thing can be
+	// uploaded as a dataset at end of stream.
+	var streamBuf *bytes.Buffer
+	if *remote != "" {
+		streamBuf = &bytes.Buffer{}
+	}
+
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -110,6 +127,10 @@ func run(args []string, in io.Reader, dst, errDst io.Writer) error {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if streamBuf != nil {
+			streamBuf.WriteString(line)
+			streamBuf.WriteByte('\n')
 		}
 		tsStr, rest, ok := strings.Cut(line, "\t")
 		if !ok {
@@ -170,7 +191,78 @@ func run(args []string, in io.Reader, dst, errDst io.Writer) error {
 			}
 		}
 	}
+	if streamBuf != nil {
+		if err := remoteMine(*remote, streamBuf, o, out); err != nil {
+			return err
+		}
+	}
 	return out.Err()
+}
+
+// remoteMine uploads the buffered stream to an rpserved's dataset registry
+// and mines it by fingerprint over the versioned wire API — the
+// end-of-stream batch check done on a server instead of in-process.
+func remoteMine(base string, stream io.Reader, o rp.Options, out *cliio.Writer) error {
+	base = strings.TrimRight(base, "/")
+	resp, err := http.Post(base+"/v1/datasets", "text/plain", stream)
+	if err != nil {
+		return fmt.Errorf("uploading stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("uploading stream: %s: %s", resp.Status, decodeErrorBody(resp.Body))
+	}
+	var up struct {
+		Fingerprint  string `json:"fingerprint"`
+		Transactions int    `json:"transactions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		return fmt.Errorf("decoding upload response: %w", err)
+	}
+
+	body, err := json.Marshal(api.MineRequest{
+		V:       api.Version,
+		Dataset: up.Fingerprint,
+		Per:     o.Per,
+		MinPS:   o.MinPS,
+		MinRec:  o.MinRec,
+	})
+	if err != nil {
+		return err
+	}
+	mresp, err := http.Post(base+"/v1/mine", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("remote mine: %w", err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote mine: %s: %s", mresp.Status, decodeErrorBody(mresp.Body))
+	}
+	var mr api.MineResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mr); err != nil {
+		return fmt.Errorf("decoding mine response: %w", err)
+	}
+	fmt.Fprintf(out, "remote: %d recurring patterns over %d transactions (dataset %s)\n",
+		mr.Count, up.Transactions, up.Fingerprint)
+	for _, p := range mr.Patterns {
+		fmt.Fprintf(out, "remote: {%s} sup=%d rec=%d\n",
+			strings.Join(p.Items, ","), p.Support, p.Recurrence)
+	}
+	return nil
+}
+
+// decodeErrorBody extracts an api.ErrorResponse message, falling back to a
+// bounded raw prefix.
+func decodeErrorBody(r io.Reader) string {
+	raw, err := io.ReadAll(io.LimitReader(r, 4096))
+	if err != nil || len(raw) == 0 {
+		return "(no body)"
+	}
+	var e api.ErrorResponse
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
 }
 
 // incFeed buffers consecutive same-timestamp lines into one transaction so

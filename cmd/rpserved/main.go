@@ -17,6 +17,9 @@
 //
 //	POST /v1/mine    {"db":"shop","per":360,"minPS":20,"minRec":2} → patterns
 //	                 or {"dataset":"<fp>",...} to mine an uploaded dataset
+//	POST /v1/shard/mine   one shard task of a scatter-gather mine,
+//	                      addressed by content fingerprint; what a
+//	                      coordinator (-peers) sends its peers
 //	POST /v1/datasets     upload a database body (any format); it is parsed
 //	                      in parallel, registered under its content
 //	                      fingerprint, and the fingerprint returned.
@@ -43,6 +46,13 @@
 // logfmt) on stderr with a unique request id, the database fingerprint, an
 // options digest, the outcome (ok, cache-hit, shed, cancelled, ...), queue
 // wait and mine time. Request bodies beyond -max-body are rejected with 413.
+//
+// With -peers, this server becomes a scatter-gather coordinator: each
+// executed mine splits into -shards tasks POSTed to the peers'
+// /v1/shard/mine endpoints (consistent-hash routed, retried with backoff,
+// optionally hedged; see -shard-*) and the merged result is byte-identical
+// to a single-box mine. Peers must serve the same database bytes — tasks
+// pin the content fingerprint.
 //
 // On SIGINT/SIGTERM the server stops accepting mines, drains the in-flight
 // ones (bounded by -drain-timeout) and exits cleanly.
@@ -94,6 +104,8 @@ func run(args []string, logDst io.Writer) error {
 	var dbSpecs, datasetSpecs multiFlag
 	fs.Var(&dbSpecs, "db", "serve a database file as name=path (repeatable)")
 	fs.Var(&datasetSpecs, "dataset", "serve a generated dataset as name[:scale[:seed]] (repeatable)")
+	var peerSpecs multiFlag
+	fs.Var(&peerSpecs, "peers", "scatter mines over these rpserved peer URLs (repeatable or comma-separated); this server becomes a coordinator")
 	var (
 		listen       = fs.String("listen", "127.0.0.1:8080", "address to listen on (:0 picks a free port)")
 		maxConc      = fs.Int("max-concurrent", 0, "max simultaneous mines (0 = GOMAXPROCS)")
@@ -113,6 +125,12 @@ func run(args []string, logDst io.Writer) error {
 		traceSpans   = fs.Int("trace-spans", 0, "span retention cap per recorded mine (0 = default, <0 = no timelines)")
 		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		quiet        = fs.Bool("quiet", false, "suppress the per-request access log")
+		shards       = fs.Int("shards", 0, "shard tasks per mine in -peers mode (0 = one per peer)")
+		shardTimeout = fs.Duration("shard-timeout", 0, "per-shard-request timeout in -peers mode (0 = 30s)")
+		shardRetries = fs.Int("shard-retries", 0, "retries per failed shard task (0 = 2, <0 = none)")
+		shardBackoff = fs.Duration("shard-backoff", 0, "initial retry backoff, doubling per retry (0 = 100ms)")
+		shardHedge   = fs.Duration("shard-hedge", 0, "hedge a duplicate shard request after this delay (0 = off)")
+		shardPolicy  = fs.String("shard-policy", "", "partial-failure policy in -peers mode: fail-fast (default) or best-effort")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +164,13 @@ func run(args []string, logDst io.Writer) error {
 		TimelineSpans:      *traceSpans,
 		Logger:             logger,
 		Pprof:              *pprofOn,
+		Peers:              splitPeers(peerSpecs),
+		Shards:             *shards,
+		ShardTimeout:       *shardTimeout,
+		ShardRetries:       *shardRetries,
+		ShardBackoff:       *shardBackoff,
+		ShardHedge:         *shardHedge,
+		ShardPolicy:        *shardPolicy,
 	}, dbs)
 	if err != nil {
 		return err
@@ -190,6 +215,20 @@ func run(args []string, logDst io.Writer) error {
 	}
 	fmt.Fprintln(logw, "rpserved: stopped")
 	return logw.Err()
+}
+
+// splitPeers flattens repeatable -peers values, each possibly
+// comma-separated, into one URL list.
+func splitPeers(specs []string) []string {
+	var peers []string
+	for _, spec := range specs {
+		for _, p := range strings.Split(spec, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
+	return peers
 }
 
 // loadDatabases assembles the served name → DB map from file and dataset

@@ -21,7 +21,9 @@ import (
 //	internal/ext       → internal/core, internal/tsdb, internal/seq
 //	internal/analysis  → nothing internal (stdlib-only by construction)
 //	internal/cliio     → internal/obs
-//	internal/serve     → internal/core, internal/tsdb, internal/cliio, internal/obs
+//	internal/api       → internal/core, internal/tsdb (the wire schema: no transport, no miner internals)
+//	internal/shard     → internal/api, internal/core, internal/tsdb, internal/obs
+//	internal/serve     → internal/api, internal/shard, internal/core, internal/tsdb, internal/cliio, internal/obs
 //	internal/bench     → anything internal except cmd/
 //	rp (module root)   → internal/core, internal/tsdb, internal/obs
 //	examples/, cmd/    → unconstrained (leaves of the DAG)
@@ -40,7 +42,7 @@ import (
 func LayeringPass() *Pass {
 	return &Pass{
 		Name:    "layering",
-		Version: 1,
+		Version: 2,
 		Doc:     "enforce the internal import DAG and the baseline/core measure-API boundary",
 		Run:     runLayering,
 	}
@@ -64,7 +66,9 @@ var layerRules = []layerRule{
 	{Prefix: "internal/ext", Allow: []string{"internal/core", "internal/tsdb", "internal/seq"}},
 	{Prefix: "internal/analysis", Allow: []string{}},
 	{Prefix: "internal/cliio", Allow: []string{"internal/obs"}},
-	{Prefix: "internal/serve", Allow: []string{"internal/core", "internal/tsdb", "internal/cliio", "internal/obs"}},
+	{Prefix: "internal/api", Allow: []string{"internal/core", "internal/tsdb"}},
+	{Prefix: "internal/shard", Allow: []string{"internal/api", "internal/core", "internal/tsdb", "internal/obs"}},
+	{Prefix: "internal/serve", Allow: []string{"internal/api", "internal/shard", "internal/core", "internal/tsdb", "internal/cliio", "internal/obs"}},
 	{Prefix: "internal/bench", Allow: []string{"internal"}},
 	{Prefix: "", Allow: []string{"internal/core", "internal/tsdb", "internal/obs"}}, // module root
 	{Prefix: "examples", Allow: nil},

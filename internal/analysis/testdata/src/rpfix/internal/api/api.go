@@ -1,0 +1,16 @@
+// Package api is the fixture wire schema: by the layering rules it may
+// import only core and tsdb — the types it mirrors — never transport or
+// telemetry machinery.
+package api
+
+import "example.com/rpfix/internal/core"
+
+// Pattern mirrors a wire pattern built from a core result.
+type Pattern struct {
+	Count int
+}
+
+// FromCore converts a miner result into its wire shape: clean.
+func FromCore(r *core.Result) Pattern {
+	return Pattern{Count: len(r.Patterns)}
+}

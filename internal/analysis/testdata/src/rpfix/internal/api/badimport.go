@@ -1,0 +1,12 @@
+package api
+
+// Seeded layering violation: the wire schema importing the observability
+// substrate, which its Allow rule (core, tsdb) does not cover — schema
+// types must stay transport- and telemetry-free.
+
+import "example.com/rpfix/internal/obs"
+
+// BadObserve drags telemetry into the schema: flagged.
+func BadObserve(p Pattern) int {
+	return obs.Count(p.Count)
+}

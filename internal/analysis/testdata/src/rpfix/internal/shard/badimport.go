@@ -1,0 +1,12 @@
+package shard
+
+// Seeded layering violation: the scatter-gather layer reaching sideways
+// into the extension layer, which its Allow rule (api, core, tsdb, obs)
+// does not cover.
+
+import "example.com/rpfix/internal/ext"
+
+// BadExt drags the extension layer into the executor: flagged.
+func BadExt() {
+	ext.BadServe()
+}

@@ -1,0 +1,14 @@
+// Package shard is the fixture scatter-gather layer: it speaks the wire
+// schema (api) and runs the miner (core), and may also use tsdb and obs.
+package shard
+
+import (
+	"example.com/rpfix/internal/api"
+	"example.com/rpfix/internal/core"
+)
+
+// Execute mines one shard task and wires the result into its wire shape:
+// clean.
+func Execute() api.Pattern {
+	return api.FromCore(core.Mine())
+}

@@ -1,0 +1,188 @@
+package api
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func TestDecodeMineRequestVersions(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		ok   bool
+		vErr bool
+	}{
+		{"absent v is v1", `{"db":"shop","per":10}`, true, false},
+		{"explicit v1", `{"v":1,"db":"shop","per":10}`, true, false},
+		{"future version", `{"v":2,"db":"shop","per":10}`, false, true},
+		{"far future version", `{"v":99,"per":10}`, false, true},
+		{"negative version", `{"v":-1,"per":10}`, false, false},
+		{"unknown field", `{"per":10,"bogus":true}`, false, false},
+		{"trailing data", `{"per":10}{"per":11}`, false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req, err := DecodeMineRequest(strings.NewReader(c.body))
+			if c.ok {
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if req.Per != 10 {
+					t.Errorf("Per = %d, want 10", req.Per)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("want decode error")
+			}
+			var ve *VersionError
+			if got := errors.As(err, &ve); got != c.vErr {
+				t.Errorf("VersionError = %v (err %v), want %v", got, err, c.vErr)
+			}
+		})
+	}
+}
+
+func TestDecodeShardMineRequest(t *testing.T) {
+	req, err := DecodeShardMineRequest(strings.NewReader(
+		`{"v":1,"fingerprint":"00000000deadbeef","per":360,"minPS":4,"shard":1,"shards":3,"itemOrder":"lex","disableErecPruning":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Shard != 1 || req.Shards != 3 || req.Fingerprint != "00000000deadbeef" {
+		t.Errorf("task fields = %d/%d %q", req.Shard, req.Shards, req.Fingerprint)
+	}
+	if req.ItemOrder != ItemOrderLex || !req.DisableErecPruning {
+		t.Errorf("ablation knobs lost in decode: %+v", req)
+	}
+	if _, err := DecodeShardMineRequest(strings.NewReader(`{"v":3,"per":1,"shard":0,"shards":1}`)); err == nil {
+		t.Error("want version error for v3 shard request")
+	}
+}
+
+func TestDecodeShardMineResponseVersion(t *testing.T) {
+	if _, err := DecodeShardMineResponse(strings.NewReader(`{"v":2,"fingerprint":"0","shard":0,"shards":1}`)); err == nil {
+		t.Error("want version error for v2 shard response")
+	}
+	resp, err := DecodeShardMineResponse(strings.NewReader(`{"v":1,"fingerprint":"00000000000000aa","shard":0,"shards":2,"count":0,"miningMS":1.5,"patterns":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Shards != 2 {
+		t.Errorf("Shards = %d, want 2", resp.Shards)
+	}
+}
+
+func TestToCoreOptions(t *testing.T) {
+	req := MineRequest{Per: 360, MinPSPercent: 10, MaxLen: 3, ItemOrder: "lex", DisableErecPruning: true}
+	o, err := req.ToCoreOptions(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MinPS != 20 {
+		t.Errorf("MinPS = %d, want 20 (10%% of 200)", o.MinPS)
+	}
+	if o.MinRec != 1 {
+		t.Errorf("MinRec = %d, want defaulted 1", o.MinRec)
+	}
+	if o.ItemOrder != core.Lexicographic || !o.DisableErecPruning {
+		t.Errorf("ablation knobs lost in conversion: %+v", o)
+	}
+
+	// Absolute minPS wins over the percentage.
+	req = MineRequest{Per: 360, MinPS: 7, MinPSPercent: 50}
+	if o, err = req.ToCoreOptions(200); err != nil || o.MinPS != 7 {
+		t.Errorf("MinPS = %d (err %v), want absolute 7", o.MinPS, err)
+	}
+
+	// Validation lives here: core's error text, verbatim.
+	if _, err = (&MineRequest{Per: 0, MinPS: 1}).ToCoreOptions(10); err == nil || !strings.Contains(err.Error(), "Per must be positive") {
+		t.Errorf("want core validation error, got %v", err)
+	}
+	if _, err = (&MineRequest{Per: 1, MinPS: 1, ItemOrder: "zigzag"}).ToCoreOptions(10); err == nil || !strings.Contains(err.Error(), "itemOrder") {
+		t.Errorf("want itemOrder error, got %v", err)
+	}
+}
+
+func TestFromCoreOptionsRoundTrip(t *testing.T) {
+	for _, o := range []core.Options{
+		{Per: 360, MinPS: 20, MinRec: 2},
+		{Per: 5, MinPS: 1, MinRec: 1, MaxLen: 4, Parallelism: 8, CollectStats: true},
+		{Per: 9, MinPS: 2, MinRec: 1, ItemOrder: core.Lexicographic, DisableErecPruning: true},
+	} {
+		req := FromCoreOptions(o)
+		if req.V != Version {
+			t.Errorf("FromCoreOptions did not stamp v%d: %+v", Version, req)
+		}
+		back, err := req.ToCoreOptions(1000)
+		if err != nil {
+			t.Fatalf("round-trip of %+v: %v", o, err)
+		}
+		if back != o {
+			t.Errorf("options round-trip diverged:\n sent %+v\n got  %+v", o, back)
+		}
+	}
+}
+
+func TestItemOrderWireForms(t *testing.T) {
+	if s := ItemOrderString(core.SupportDescending); s != "" {
+		t.Errorf("default order renders %q, want empty", s)
+	}
+	if s := ItemOrderString(core.Lexicographic); s != ItemOrderLex {
+		t.Errorf("lex order renders %q", s)
+	}
+	if o, err := ParseItemOrder(ItemOrderSupport); err != nil || o != core.SupportDescending {
+		t.Errorf("ParseItemOrder(support) = %v, %v", o, err)
+	}
+}
+
+func TestPatternConvertersRoundTrip(t *testing.T) {
+	b := tsdb.NewBuilder()
+	for ts := int64(1); ts <= 6; ts++ {
+		b.Add("bread", ts)
+		b.Add("jam", ts)
+	}
+	db := b.Build()
+	in := []core.Pattern{
+		{
+			Items:      mustIDs(t, db, "bread", "jam"),
+			Support:    6,
+			Recurrence: 1,
+			Intervals:  []core.Interval{{Start: 1, End: 6, PS: 6}},
+		},
+	}
+	wire := PatternsFromCore(db, in)
+	if len(wire) != 1 || wire[0].Items[0] != "bread" || wire[0].Intervals[0].PS != 6 {
+		t.Fatalf("wire form wrong: %+v", wire)
+	}
+	back, err := PatternsToCore(db, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || len(back[0].Items) != 2 || back[0].Items[0] != in[0].Items[0] {
+		t.Fatalf("round-trip diverged: %+v vs %+v", back, in)
+	}
+
+	// An item the local dictionary has never seen means the databases
+	// differ; the converter must refuse, not invent an ID.
+	if _, err := PatternsToCore(db, []Pattern{{Items: []string{"anchovies"}}}); err == nil {
+		t.Error("want error for unknown item name")
+	}
+}
+
+func mustIDs(t *testing.T, db *tsdb.DB, names ...string) []tsdb.ItemID {
+	t.Helper()
+	ids := make([]tsdb.ItemID, len(names))
+	for i, n := range names {
+		id, ok := db.Dict.Lookup(n)
+		if !ok {
+			t.Fatalf("item %q not in dictionary", n)
+		}
+		ids[i] = id
+	}
+	return ids
+}

@@ -237,23 +237,42 @@ func (m *miner) emit(beta []tsdb.ItemID, support, rec int, ipi []Interval) {
 }
 
 // mineParallel mines the top-level suffix items with a fixed pool of
-// Parallelism workers pulling ranks from a shared atomic queue, so a heavy
-// suffix item no longer serializes the tail of the run the way the old
-// goroutine-per-item semaphore did. The shared initial tree is read-only in
-// this mode: each worker merges subtree ts-lists instead of relying on the
-// sequential push-up mutation, which yields exactly the same conditional
-// bases (every descendant tail of an item's node belongs to a transaction
-// containing the item). Each rank's partial result has exactly one writer,
-// and partials are merged in deterministic rank order after the pool drains.
+// Parallelism workers; it is mineRanks over every rank of the tree.
+func mineParallel(ctx context.Context, t *rpTree, o Options, res *Result) (cancelled bool) {
+	ranks := make([]int, len(t.order))
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return mineRanks(ctx, t, o, res, ranks)
+}
+
+// mineRanks mines the given top-level ranks of t with a fixed pool of
+// Parallelism workers (minimum one) pulling rank indexes from a shared
+// atomic queue, so a heavy suffix item no longer serializes the tail of the
+// run the way the old goroutine-per-item semaphore did. The shared initial
+// tree is read-only in this mode: each worker merges subtree ts-lists
+// instead of relying on the sequential push-up mutation, which yields
+// exactly the same conditional bases (every descendant tail of an item's
+// node belongs to a transaction containing the item). Each rank's partial
+// result has exactly one writer, and partials are merged in deterministic
+// rank order after the pool drains — which is what makes a shard-restricted
+// rank subset (core.MineShardContext) produce exactly the patterns the full
+// mine attributes to those ranks.
+//
+// ranks must be sorted ascending and duplicate-free; the parallel mode
+// passes every rank, the shard mode the ranks its ShardSpec owns.
 //
 // Workers observe ctx between subtree tasks (and, via mineTree, between the
 // ranks within one task); once it fires they stop claiming ranks and the
 // pool drains. The cancelled return still carries merged partial stats.
-func mineParallel(ctx context.Context, t *rpTree, o Options, res *Result) (cancelled bool) {
-	partial := make([]Result, len(t.order))
+func mineRanks(ctx context.Context, t *rpTree, o Options, res *Result, ranks []int) (cancelled bool) {
+	partial := make([]Result, len(ranks))
 	workers := o.Parallelism
-	if workers > len(t.order) {
-		workers = len(t.order)
+	if workers > len(ranks) {
+		workers = len(ranks)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	done := ctx.Done()
 	var stopped atomic.Bool
@@ -270,11 +289,12 @@ func mineParallel(ctx context.Context, t *rpTree, o Options, res *Result) (cance
 					stopped.Store(true)
 					return
 				}
-				r := int(next.Add(1)) - 1
-				if r >= len(t.order) {
+				i := int(next.Add(1)) - 1
+				if i >= len(ranks) {
 					return
 				}
-				m.res = &partial[r]
+				r := ranks[i]
+				m.res = &partial[i]
 				var sp obs.TaskSpan
 				if m.tr != nil {
 					sp = m.tr.StartTask(m.taskLabel(t.order[r]), &m.lc)

@@ -93,7 +93,14 @@ func (o Options) Validate() error {
 // periodic support, matching how the paper states minPS for its datasets
 // (e.g. 0.1% of T10I4D100K = 100). The result is at least 1.
 func MinPSFromPercent(db *tsdb.DB, percent float64) int {
-	ps := int(percent / 100 * float64(db.Len()))
+	return MinPSForLen(db.Len(), percent)
+}
+
+// MinPSForLen is MinPSFromPercent against a database size rather than a
+// database, for callers (the wire-API converters) that resolve thresholds
+// without holding the DB.
+func MinPSForLen(n int, percent float64) int {
+	ps := int(percent / 100 * float64(n))
 	if ps < 1 {
 		ps = 1
 	}

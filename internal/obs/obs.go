@@ -44,6 +44,14 @@ const (
 	// PhaseFinalize is result assembly: merging worker partials and
 	// sorting the pattern set into canonical order.
 	PhaseFinalize
+	// PhaseShard is scatter-gather coordination: one count per shard task
+	// dispatched by a shard coordinator, timed from dispatch to that
+	// shard's result (or failure). Nested: with local executors the shard
+	// time contains the executor's own scan/tree-build/mine phases, and
+	// with remote executors it is network plus the peer's run, so it never
+	// adds to the coordinator's top-level coverage sum. Labeled timeline
+	// spans put each shard on its own flight-recorder lane.
+	PhaseShard
 	// PhaseMerge counts and times the ts-list run merges (Section 4.2.2's
 	// TS-list construction). Nested inside PhaseMine.
 	PhaseMerge
@@ -61,6 +69,7 @@ var phaseNames = [NumPhases]string{
 	PhaseTreeBuild: "tree-build",
 	PhaseMine:      "mine",
 	PhaseFinalize:  "finalize",
+	PhaseShard:     "shard",
 	PhaseMerge:     "ts-merge",
 	PhasePrune:     "erec-prune",
 }
@@ -71,6 +80,7 @@ var phaseUnits = [NumPhases]string{
 	PhaseTreeBuild: "builds",
 	PhaseMine:      "tasks",
 	PhaseFinalize:  "sorts",
+	PhaseShard:     "tasks",
 	PhaseMerge:     "merges",
 	PhasePrune:     "prunes",
 }
@@ -95,7 +105,7 @@ func (p Phase) Unit() string {
 // Nested reports whether the phase's time is contained in another phase's
 // (and must therefore be excluded when summing phase times against the
 // run's total).
-func (p Phase) Nested() bool { return p == PhaseMerge || p == PhasePrune }
+func (p Phase) Nested() bool { return p == PhaseShard || p == PhaseMerge || p == PhasePrune }
 
 // PhaseNames returns the canonical names of all phases in declaration
 // order (top-level phases first).
@@ -173,6 +183,7 @@ type Span struct {
 	t     *Trace
 	p     Phase
 	start time.Time
+	label string
 }
 
 // Start opens a span for phase p. Spans may nest freely (each records its
@@ -182,6 +193,16 @@ func (t *Trace) Start(p Phase) Span {
 		return Span{}
 	}
 	return Span{t: t, p: p, start: Now()}
+}
+
+// StartLabeled is Start with a label that retained timeline records carry,
+// e.g. "shard=2/4" on a scatter-gather lane. The label costs nothing when
+// no timeline is attached.
+func (t *Trace) StartLabeled(p Phase, label string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, p: p, start: Now(), label: label}
 }
 
 // StartTotal opens a span covering a whole run; its End feeds ObserveTotal.
@@ -209,7 +230,7 @@ func (s Span) End() {
 		name = s.p.String()
 	}
 	if tl := s.t.tl; tl != nil {
-		tl.record(SpanRecord{Phase: name, StartNS: tl.startNS(s.start), DurNS: el})
+		tl.record(SpanRecord{Phase: name, Label: s.label, StartNS: tl.startNS(s.start), DurNS: el})
 	}
 }
 

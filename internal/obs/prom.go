@@ -48,6 +48,23 @@ func (p *PromWriter) Counter(name, help string, value float64) {
 	p.printf("%s %s\n", name, formatPromValue(value))
 }
 
+// LabeledValue is one sample of a labeled metric family.
+type LabeledValue struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// CounterVec writes a counter family with one sample per labeled value, in
+// the order given (callers sort for deterministic exposition). An empty
+// sample list still emits the HELP/TYPE header so the family is
+// discoverable.
+func (p *PromWriter) CounterVec(name, help string, samples []LabeledValue) {
+	p.header(name, help, "counter")
+	for _, s := range samples {
+		p.printf("%s%s %s\n", name, formatLabels(s.Labels), formatPromValue(s.Value))
+	}
+}
+
 // Gauge writes a gauge family with a single unlabelled sample.
 func (p *PromWriter) Gauge(name, help string, value float64) {
 	p.header(name, help, "gauge")

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/recurpat/rp/internal/api"
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/obs"
 )
@@ -23,15 +24,26 @@ type cacheKey struct {
 	minRec int
 	maxLen int
 	order  core.ItemOrder
+	// noErec is Options.DisableErecPruning. The pattern set is identical
+	// either way, but the search statistics are not, and a cached entry
+	// answers stats requests — so the ablation must not share entries with
+	// the default configuration.
+	noErec bool
 }
 
 // cachedResult is an immutable, fully name-resolved mining result. It is
 // shared between the cache and any number of concurrent responses, so
 // nothing in it may be mutated after construction.
 type cachedResult struct {
-	patterns []apiPattern
+	patterns []api.Pattern
 	stats    core.MineStats
 	mineTime time.Duration // wall time of the run that produced it
+
+	// partial and failedShards mark a best-effort scatter that lost
+	// shards. Partial results are never actually cached (runMine skips the
+	// put), but they flow through this type to the response writer.
+	partial      bool
+	failedShards []int
 
 	// report and timeline describe the producing run for the request
 	// journal: its per-phase breakdown and (when recording was on) its

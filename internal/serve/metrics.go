@@ -75,6 +75,9 @@ type metrics struct {
 	uploads          atomic.Int64 // POST /v1/datasets requests received
 	datasetEvictions atomic.Int64 // datasets displaced by the registry's LRU bounds
 
+	shardRequests atomic.Int64 // POST /v1/shard/mine requests received
+	shardMined    atomic.Int64 // shard tasks executed to completion
+
 	// phases histograms the per-phase wall time of every executed mine,
 	// one histogram per algorithm phase of the tracer's taxonomy. Nested
 	// phases (ts-merge) record their aggregate time per run like the
@@ -140,6 +143,9 @@ type MetricsSnapshot struct {
 
 	Uploads          int64 `json:"uploads"`
 	DatasetEvictions int64 `json:"datasetEvictions"`
+
+	ShardRequests int64 `json:"shardRequests"`
+	ShardMined    int64 `json:"shardMined"`
 }
 
 // snapshot copies the counters. Individual loads are atomic but the
@@ -159,6 +165,9 @@ func (m *metrics) snapshot() MetricsSnapshot {
 
 		Uploads:          m.uploads.Load(),
 		DatasetEvictions: m.datasetEvictions.Load(),
+
+		ShardRequests: m.shardRequests.Load(),
+		ShardMined:    m.shardMined.Load(),
 	}
 }
 
@@ -176,6 +185,8 @@ func (m *metrics) writeProm(p *obs.PromWriter) {
 	p.Counter("rpserved_mined_total", "Mining runs actually executed.", float64(m.mined.Load()))
 	p.Counter("rpserved_uploads_total", "Dataset uploads received.", float64(m.uploads.Load()))
 	p.Counter("rpserved_dataset_evictions_total", "Datasets displaced by the registry's LRU bounds.", float64(m.datasetEvictions.Load()))
+	p.Counter("rpserved_shard_requests_total", "Shard mine requests received.", float64(m.shardRequests.Load()))
+	p.Counter("rpserved_shard_mined_total", "Shard tasks executed to completion.", float64(m.shardMined.Load()))
 
 	buckets, nanos := m.mining.snapshot()
 	p.Histogram("rpserved_mining_seconds", "Wall time per executed mining run.",

@@ -687,7 +687,7 @@ func TestAccessLog(t *testing.T) {
 	for i, want := range []string{"outcome=ok", "outcome=cache-hit"} {
 		line := lines[i]
 		for _, frag := range []string{want, "db=shop", wantFP,
-			`opts="per=4,minPS=3,minRec=1,maxLen=0,par=0"`, "status=200"} {
+			`opts="per=4,minPS=3,minRec=1,maxLen=0,par=0,order=support,erec=on"`, "status=200"} {
 			if !strings.Contains(line, frag) {
 				t.Errorf("log line %d lacks %q: %s", i, frag, line)
 			}

@@ -21,8 +21,10 @@ import (
 	"sync"
 	"time"
 
+	"github.com/recurpat/rp/internal/api"
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/obs"
+	"github.com/recurpat/rp/internal/shard"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -103,6 +105,28 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
 	// default: the profiling endpoints can stall the process mid-scrape.
 	Pprof bool
+
+	// Peers, when non-empty, turns this server into a scatter-gather
+	// coordinator: each executed /v1/mine splits into Shards tasks POSTed
+	// to the peers' /v1/shard/mine endpoints (consistent-hash routed on
+	// the database fingerprint and shard index) and the partials merge
+	// into a result byte-identical to a single-box mine. Peers must serve
+	// the same database bytes; tasks pin the content fingerprint.
+	Peers []string
+	// Shards is the number of shard tasks per mine in peers mode.
+	// 0 → len(Peers).
+	Shards int
+	// ShardTimeout, ShardRetries, ShardBackoff and ShardHedge tune the
+	// shard HTTP client; zero values resolve per shard.ClientConfig
+	// (30s timeout, 2 retries, 100ms initial backoff, hedging off).
+	ShardTimeout time.Duration
+	ShardRetries int
+	ShardBackoff time.Duration
+	ShardHedge   time.Duration
+	// ShardPolicy selects partial-failure handling: "fail-fast" (default)
+	// or "best-effort" (serve the surviving shards' patterns marked
+	// partial).
+	ShardPolicy string
 }
 
 // withDefaults resolves the zero values documented on Config.
@@ -161,6 +185,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = obs.NopLogger()
 	}
+	if c.Shards == 0 {
+		c.Shards = len(c.Peers)
+	}
 	return c
 }
 
@@ -189,6 +216,11 @@ type Server struct {
 	// failing miners without real databases.
 	mineFn func(ctx context.Context, db *tsdb.DB, o core.Options) (*core.Result, error)
 
+	// shardClient and coord are set in peers mode (Config.Peers): executed
+	// mines scatter over the peer set instead of running locally.
+	shardClient *shard.Client
+	coord       *shard.Coordinator
+
 	// Drain machinery: beginMine/endMine bracket every mining run (cache
 	// hits excluded — they borrow no resources worth waiting for).
 	drainMu  sync.Mutex
@@ -214,6 +246,24 @@ func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
 	if cfg.JournalSize > 0 {
 		s.journal = newJournal(cfg.JournalSize, cfg.SlowThreshold)
 	}
+	if len(cfg.Peers) > 0 {
+		client, err := shard.NewClient(shard.ClientConfig{
+			Peers:   cfg.Peers,
+			Timeout: cfg.ShardTimeout,
+			Retries: cfg.ShardRetries,
+			Backoff: cfg.ShardBackoff,
+			Hedge:   cfg.ShardHedge,
+		})
+		if err != nil {
+			return nil, err
+		}
+		policy, err := shard.ParsePolicy(cfg.ShardPolicy)
+		if err != nil {
+			return nil, err
+		}
+		s.shardClient = client
+		s.coord = &shard.Coordinator{Count: cfg.Shards, Exec: client, Policy: policy}
+	}
 	for name, db := range dbs {
 		if name == "" {
 			return nil, errors.New("serve: database name must be non-empty")
@@ -225,6 +275,7 @@ func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	mux.HandleFunc("POST /v1/shard/mine", s.handleShardMine)
 	mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	mux.HandleFunc("DELETE /v1/datasets/{fp}", s.handleDatasetDelete)
@@ -318,51 +369,6 @@ func (s *Server) endMine() {
 	}
 }
 
-// mineRequest is the JSON body of POST /v1/mine. Exactly one of minPS and
-// minPSPercent should be set; minPSPercent is resolved against the target
-// database's size via MinPSFromPercent.
-type mineRequest struct {
-	DB           string  `json:"db"`           // database name; optional when only one is served
-	Dataset      string  `json:"dataset"`      // registered dataset fingerprint (16 hex digits); alternative to db
-	Per          int64   `json:"per"`          // period threshold
-	MinPS        int     `json:"minPS"`        // absolute minimum periodic support
-	MinPSPercent float64 `json:"minPSPercent"` // minPS as a % of |TDB| (used when minPS is 0)
-	MinRec       int     `json:"minRec"`       // minimum recurrence; defaults to 1
-	MaxLen       int     `json:"maxLen"`       // pattern length cap; 0 = unlimited
-	Parallelism  int     `json:"parallelism"`  // mining parallelism; clamped to MaxParallelism
-	CollectStats bool    `json:"collectStats"` // include search statistics in the response
-}
-
-// apiInterval is the wire form of a periodic interval.
-type apiInterval struct {
-	Start int64 `json:"start"`
-	End   int64 `json:"end"`
-	PS    int   `json:"ps"`
-}
-
-// apiPattern is the wire form of one recurring pattern.
-type apiPattern struct {
-	Items      []string      `json:"items"`
-	Support    int           `json:"support"`
-	Recurrence int           `json:"recurrence"`
-	Intervals  []apiInterval `json:"intervals"`
-}
-
-// mineResponse is the JSON body of a successful POST /v1/mine.
-type mineResponse struct {
-	DB        string          `json:"db"`
-	Count     int             `json:"count"`
-	Cached    bool            `json:"cached"`
-	ElapsedMS float64         `json:"elapsedMS"` // this request's wall time, queueing included
-	MiningMS  float64         `json:"miningMS"`  // the producing mine's wall time (historic on cache hits)
-	Patterns  []apiPattern    `json:"patterns"`
-	Stats     *core.MineStats `json:"stats,omitempty"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 // maxMineAttempts bounds the follower-retry loop: how many times one
 // request will re-enter the single-flight group after watching a leader
 // get cancelled out from under it.
@@ -402,9 +408,19 @@ func (rec *accessRecord) deny(outcome string, status int) {
 }
 
 // optionsDigest is the compact access-log form of the resolved options.
+// Every Options field that can change the output (or its search cost) is
+// present, so two log lines with equal digests describe the same mine.
 func optionsDigest(o core.Options) string {
-	return fmt.Sprintf("per=%d,minPS=%d,minRec=%d,maxLen=%d,par=%d",
-		o.Per, o.MinPS, o.MinRec, o.MaxLen, o.Parallelism)
+	order := api.ItemOrderSupport
+	if o.ItemOrder == core.Lexicographic {
+		order = api.ItemOrderLex
+	}
+	erec := "on"
+	if o.DisableErecPruning {
+		erec = "off"
+	}
+	return fmt.Sprintf("per=%d,minPS=%d,minRec=%d,maxLen=%d,par=%d,order=%s,erec=%s",
+		o.Per, o.MinPS, o.MinRec, o.MaxLen, o.Parallelism, order, erec)
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
@@ -423,14 +439,12 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.journalRecord(rec, start, elapsed)
 	}()
 
-	var req mineRequest
 	body := r.Body
 	if s.cfg.MaxBody > 0 {
 		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	}
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	req, err := api.DecodeMineRequest(body)
+	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			// Distinct from plain bad requests: a too-large body usually
@@ -475,28 +489,18 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	rec.db, rec.fp = ent.name, fmt.Sprintf("%016x", ent.fp)
 
-	o := core.Options{
-		Per:         req.Per,
-		MinPS:       req.MinPS,
-		MinRec:      req.MinRec,
-		MaxLen:      req.MaxLen,
-		Parallelism: req.Parallelism,
-	}
-	if o.MinPS == 0 && req.MinPSPercent > 0 {
-		o.MinPS = core.MinPSFromPercent(ent.db, req.MinPSPercent)
-	}
-	if o.MinRec == 0 {
-		o.MinRec = 1
+	// Threshold resolution and validation live in the api package so the
+	// shard endpoint, remote peers and this handler can never disagree.
+	o, err := req.ToCoreOptions(ent.db.Len())
+	if err != nil {
+		rec.deny("invalid-options", http.StatusBadRequest)
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	if o.Parallelism > s.cfg.MaxParallelism {
 		o.Parallelism = s.cfg.MaxParallelism
 	}
 	rec.opts = optionsDigest(o)
-	if err := o.Validate(); err != nil {
-		rec.deny("invalid-options", http.StatusBadRequest)
-		s.fail(w, http.StatusBadRequest, "%v", err)
-		return
-	}
 	// Mine with stats unconditionally (the counters cost nothing next to
 	// the mining itself) so one cached entry serves stats and no-stats
 	// requests alike; the response includes them only on request.
@@ -509,6 +513,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		minRec: o.MinRec,
 		maxLen: o.MaxLen,
 		order:  o.ItemOrder,
+		noErec: o.DisableErecPruning,
 	}
 	if v, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
@@ -611,9 +616,26 @@ func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key 
 		o.Trace.AttachTimeline(tl)
 	}
 	begin := now()
-	res, err := s.mineFn(mctx, ent.db, o)
-	if err != nil {
-		return nil, err
+	var (
+		res     *core.Result
+		partial bool
+		failed  []int
+	)
+	if s.coord != nil {
+		// Peers mode: scatter the mine over the shard peers. The gathered
+		// result is byte-identical to the local mineFn path unless shards
+		// failed under a best-effort policy.
+		sres, serr := s.coord.Mine(mctx, ent.db, o)
+		if serr != nil {
+			return nil, serr
+		}
+		res, partial, failed = sres.Result, sres.Partial, sres.FailedShards
+	} else {
+		var merr error
+		res, merr = s.mineFn(mctx, ent.db, o)
+		if merr != nil {
+			return nil, merr
+		}
 	}
 	d := time.Since(begin)
 	rec.mineTime = d
@@ -623,47 +645,184 @@ func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key 
 	rec.report, rec.timeline = report, tl.Snapshot()
 
 	v := &cachedResult{
-		patterns: toAPIPatterns(ent.db, res.Patterns),
-		stats:    res.Stats,
-		mineTime: d,
-		report:   rec.report,
-		timeline: rec.timeline,
+		patterns:     api.PatternsFromCore(ent.db, res.Patterns),
+		stats:        res.Stats,
+		partial:      partial,
+		failedShards: failed,
+		mineTime:     d,
+		report:       rec.report,
+		timeline:     rec.timeline,
 	}
-	s.cache.put(key, v)
+	if !partial {
+		// A partial result is one outage away from being wrong twice: never
+		// let it satisfy later requests from the cache.
+		s.cache.put(key, v)
+	}
 	return v, nil
 }
 
-func toAPIPatterns(db *tsdb.DB, patterns []core.Pattern) []apiPattern {
-	out := make([]apiPattern, len(patterns))
-	for i, p := range patterns {
-		ivs := make([]apiInterval, len(p.Intervals))
-		for j, iv := range p.Intervals {
-			ivs[j] = apiInterval{Start: iv.Start, End: iv.End, PS: iv.PS}
-		}
-		out[i] = apiPattern{
-			Items:      db.PatternNames(p.Items),
-			Support:    p.Support,
-			Recurrence: p.Recurrence,
-			Intervals:  ivs,
-		}
-	}
-	return out
-}
-
-func (s *Server) writeMineResponse(w http.ResponseWriter, ent *dbEntry, req mineRequest, v *cachedResult, cached bool, start time.Time) {
-	resp := mineResponse{
-		DB:        ent.name,
-		Count:     len(v.patterns),
-		Cached:    cached,
-		ElapsedMS: float64(time.Since(start)) / 1e6,
-		MiningMS:  float64(v.mineTime) / 1e6,
-		Patterns:  v.patterns,
+func (s *Server) writeMineResponse(w http.ResponseWriter, ent *dbEntry, req *api.MineRequest, v *cachedResult, cached bool, start time.Time) {
+	resp := api.MineResponse{
+		V:            api.Version,
+		DB:           ent.name,
+		Count:        len(v.patterns),
+		Cached:       cached,
+		ElapsedMS:    float64(time.Since(start)) / 1e6,
+		MiningMS:     float64(v.mineTime) / 1e6,
+		Partial:      v.partial,
+		FailedShards: v.failedShards,
+		Patterns:     v.patterns,
 	}
 	if req.CollectStats {
 		stats := v.stats
 		resp.Stats = &stats
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShardMine executes one shard task of a scatter-gather mine: the
+// request addresses the database by content fingerprint (the coordinator
+// doesn't know or care what this peer named it), the task's rank slice is
+// mined under the same admission control and drain accounting as a full
+// mine, and nothing is cached — the coordinator owns the merged result's
+// lifecycle.
+func (s *Server) handleShardMine(w http.ResponseWriter, r *http.Request) {
+	s.metrics.shardRequests.Add(1)
+	body := r.Body
+	if s.cfg.MaxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	}
+	req, err := api.DecodeShardMineRequest(body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding shard request: %v", err)
+		return
+	}
+	spec := core.ShardSpec{Index: req.Shard, Count: req.Shards}
+	if err := spec.Validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ent, status, err := s.resolveShardTarget(req)
+	if err != nil {
+		s.fail(w, status, "%v", err)
+		return
+	}
+	o, err := req.ToCoreOptions(ent.db.Len())
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if o.Parallelism > s.cfg.MaxParallelism {
+		o.Parallelism = s.cfg.MaxParallelism
+	}
+
+	if err := s.beginMine(); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	defer s.endMine()
+	if err := s.adm.acquire(r.Context()); err != nil {
+		if errors.Is(err, errShed) {
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		s.metrics.cancelled.Add(1)
+		s.writeError(w, statusClientClosedRequest, "client cancelled request")
+		return
+	}
+	defer s.adm.release()
+
+	mctx := r.Context()
+	if s.cfg.MineTimeout > 0 {
+		var cancel context.CancelFunc
+		mctx, cancel = context.WithTimeout(mctx, s.cfg.MineTimeout)
+		defer cancel()
+	}
+	begin := now()
+	res, err := core.MineShardContext(mctx, ent.db, o, spec)
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			s.metrics.cancelled.Add(1)
+			s.writeError(w, statusClientClosedRequest, "client cancelled request")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.metrics.timeouts.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("shard mine exceeded the server-side time limit of %v", s.cfg.MineTimeout))
+		default:
+			s.fail(w, http.StatusInternalServerError, "shard mining failed: %v", err)
+		}
+		return
+	}
+	s.metrics.shardMined.Add(1)
+	s.writeJSON(w, http.StatusOK, api.ShardMineResponse{
+		V:           api.Version,
+		Fingerprint: fmt.Sprintf("%016x", ent.fp),
+		Shard:       req.Shard,
+		Shards:      req.Shards,
+		Count:       len(res.Patterns),
+		MiningMS:    float64(time.Since(begin)) / 1e6,
+		Patterns:    api.PatternsFromCore(ent.db, res.Patterns),
+		Stats:       &res.Stats,
+	})
+}
+
+// resolveShardTarget resolves a shard task's database. Fingerprint is the
+// canonical address (searched across preloaded databases and the
+// registry); db/dataset naming also works, but a named database whose
+// bytes don't match a supplied fingerprint is refused — shards of one mine
+// must agree on content, not on names.
+func (s *Server) resolveShardTarget(req *api.ShardMineRequest) (*dbEntry, int, error) {
+	var ent *dbEntry
+	switch {
+	case req.Dataset != "" && req.DB != "":
+		return nil, http.StatusBadRequest, errors.New("serve: set db or dataset, not both")
+	case req.Dataset != "":
+		var status int
+		var err error
+		if ent, status, err = s.lookupDataset(req.Dataset); err != nil {
+			return nil, status, err
+		}
+	case req.DB != "":
+		var status int
+		var err error
+		if ent, status, err = s.lookupDB(req.DB); err != nil {
+			return nil, status, err
+		}
+	case req.Fingerprint != "":
+		fp, err := parseFingerprint(req.Fingerprint)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		for _, name := range s.names {
+			if s.dbs[name].fp == fp {
+				ent = s.dbs[name]
+				break
+			}
+		}
+		if ent == nil {
+			if ent, _, err = s.lookupDataset(req.Fingerprint); err != nil {
+				return nil, http.StatusNotFound,
+					fmt.Errorf("serve: no database with fingerprint %s", req.Fingerprint)
+			}
+		}
+	default:
+		return nil, http.StatusBadRequest,
+			errors.New("serve: shard request must address a database (fingerprint, db or dataset)")
+	}
+	if req.Fingerprint != "" {
+		fp, err := parseFingerprint(req.Fingerprint)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if ent.fp != fp {
+			return nil, http.StatusConflict, fmt.Errorf(
+				"serve: database %q has fingerprint %016x, task wants %s", ent.name, ent.fp, req.Fingerprint)
+		}
+	}
+	return ent, 0, nil
 }
 
 // lookupDB resolves a request's database name; an empty name is allowed
@@ -713,6 +872,9 @@ type statsResponse struct {
 	Runtime       runtimeInfo     `json:"runtime"`
 	Config        configInfo      `json:"config"`
 	GoMaxProcs    int             `json:"goMaxProcs"`
+	// ShardPeers holds the per-peer scatter counters when this server is a
+	// coordinator (Config.Peers); absent otherwise.
+	ShardPeers []shard.PeerStats `json:"shardPeers,omitempty"`
 }
 
 // runtimeInfo is the Go runtime health section of /v1/stats: enough to
@@ -763,6 +925,11 @@ type configInfo struct {
 	MaxUpload      int64  `json:"maxUpload"`
 	RegistryBytes  int64  `json:"registryMaxBytes"`
 	RegistryCap    int    `json:"registryMaxEntries"`
+
+	// Peers-mode settings; zero/absent on a single-box server.
+	Peers       []string `json:"peers,omitempty"`
+	Shards      int      `json:"shards,omitempty"`
+	ShardPolicy string   `json:"shardPolicy,omitempty"`
 }
 
 // registryStats is the dataset-registry section of /v1/stats.
@@ -797,6 +964,12 @@ func (s *Server) statsPayload() statsResponse {
 			RegistryBytes:  s.cfg.RegistryMaxBytes,
 			RegistryCap:    s.cfg.RegistryMaxEntries,
 		},
+	}
+	if s.shardClient != nil {
+		resp.ShardPeers = s.shardClient.Stats()
+		resp.Config.Peers = s.shardClient.Peers()
+		resp.Config.Shards = s.cfg.Shards
+		resp.Config.ShardPolicy = s.coord.Policy.String()
 	}
 	entries, bytes := s.registry.stats()
 	resp.Registry = registryStats{
@@ -846,6 +1019,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		draining = 1
 	}
 	p.Gauge("rpserved_draining", "1 while the server refuses new mines for shutdown.", draining)
+	if s.shardClient != nil {
+		peerStats := s.shardClient.Stats()
+		peerSamples := func(value func(shard.PeerStats) int64) []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(peerStats))
+			for i, ps := range peerStats {
+				out[i] = obs.LabeledValue{Labels: map[string]string{"peer": ps.URL}, Value: float64(value(ps))}
+			}
+			return out
+		}
+		p.CounterVec("rpserved_shard_peer_success_total", "Shard tasks answered successfully, per peer.",
+			peerSamples(func(ps shard.PeerStats) int64 { return ps.Success }))
+		p.CounterVec("rpserved_shard_peer_failure_total", "Shard task attempts that failed, per peer.",
+			peerSamples(func(ps shard.PeerStats) int64 { return ps.Failure }))
+		p.CounterVec("rpserved_shard_peer_retries_total", "Shard task re-dispatches after a failure, per peer.",
+			peerSamples(func(ps shard.PeerStats) int64 { return ps.Retries }))
+		p.CounterVec("rpserved_shard_peer_hedges_total", "Hedged duplicate shard requests fired, per peer.",
+			peerSamples(func(ps shard.PeerStats) int64 { return ps.Hedges }))
+		p.CounterVec("rpserved_shard_peer_hedge_wins_total", "Hedged shard requests that answered first, per peer.",
+			peerSamples(func(ps shard.PeerStats) int64 { return ps.HedgeWins }))
+	}
 	// Go runtime health: the gauges a dashboard needs to tell a leaking or
 	// GC-bound process from a loaded one. Names follow the conventional
 	// go_* client families.
@@ -878,7 +1071,7 @@ func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
-	s.writeJSON(w, status, errorResponse{Error: msg})
+	s.writeJSON(w, status, api.ErrorResponse{Error: msg})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

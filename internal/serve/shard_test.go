@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// TestCacheKeyIncludesItemOrder is the regression for the api gap this
+// package used to have: itemOrder (and disableErecPruning) now travel the
+// wire, so two requests differing only in those knobs must not share a
+// cache entry.
+func TestCacheKeyIncludesItemOrder(t *testing.T) {
+	var mines atomic.Int64
+	s, hs := newTestServer(t, Config{}, func(ctx context.Context, db *tsdb.DB, o core.Options) (*core.Result, error) {
+		mines.Add(1)
+		return core.MineContext(ctx, db, o)
+	})
+	_ = s
+
+	base := `"db":"shop","per":4,"minPS":3,"minRec":1`
+	for i, body := range []string{
+		`{` + base + `}`,
+		`{` + base + `,"itemOrder":"lex"}`,
+		`{` + base + `,"disableErecPruning":true}`,
+		`{` + base + `}`, // repeat of the first: must hit, not re-mine
+	} {
+		status, m := postMine(t, hs.URL, body)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %v", i, status, m)
+		}
+	}
+	if got := mines.Load(); got != 3 {
+		t.Errorf("executed %d mines, want 3 (order and pruning variants must not share cache entries)", got)
+	}
+}
+
+// postShard sends a body to POST /v1/shard/mine.
+func postShard(t *testing.T, base, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/shard/mine", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, m
+}
+
+// TestShardMineEndpoint exercises the peer half of scatter-gather: the
+// shard tasks of a 3-way plan, addressed by fingerprint alone, must
+// partition the full mine's pattern set.
+func TestShardMineEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, nil)
+	fp := fmt.Sprintf("%016x", testDB().Fingerprint())
+
+	status, full := postMine(t, hs.URL, `{"db":"shop","per":4,"minPS":3,"minRec":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("full mine: status %d, body %v", status, full)
+	}
+
+	var shardTotal float64
+	for i := 0; i < 3; i++ {
+		status, m := postShard(t, hs.URL,
+			fmt.Sprintf(`{"v":1,"fingerprint":%q,"per":4,"minPS":3,"minRec":1,"shard":%d,"shards":3}`, fp, i))
+		if status != http.StatusOK {
+			t.Fatalf("shard %d: status %d, body %v", i, status, m)
+		}
+		if m["fingerprint"] != fp {
+			t.Errorf("shard %d echoed fingerprint %v, want %s", i, m["fingerprint"], fp)
+		}
+		if m["shard"].(float64) != float64(i) || m["shards"].(float64) != 3 {
+			t.Errorf("shard %d echoed task %v/%v", i, m["shard"], m["shards"])
+		}
+		shardTotal += m["count"].(float64)
+	}
+	if shardTotal != full["count"].(float64) {
+		t.Errorf("shard counts sum to %v, full mine found %v", shardTotal, full["count"])
+	}
+
+	stats := getStats(t, hs.URL)
+	if got := metric(t, stats, "shardRequests"); got != 3 {
+		t.Errorf("shardRequests = %v, want 3", got)
+	}
+	if got := metric(t, stats, "shardMined"); got != 3 {
+		t.Errorf("shardMined = %v, want 3", got)
+	}
+}
+
+func TestShardMineEndpointErrors(t *testing.T) {
+	s, hs := newTestServer(t, Config{}, nil)
+	fp := fmt.Sprintf("%016x", testDB().Fingerprint())
+
+	// Invalid shard spec.
+	if status, _ := postShard(t, hs.URL, `{"per":4,"minPS":3,"shard":3,"shards":3,"db":"shop"}`); status != http.StatusBadRequest {
+		t.Errorf("out-of-range shard index: status %d, want 400", status)
+	}
+	// Unknown fingerprint.
+	if status, m := postShard(t, hs.URL, `{"per":4,"minPS":3,"shard":0,"shards":2,"fingerprint":"00000000000000ff"}`); status != http.StatusNotFound {
+		t.Errorf("unknown fingerprint: status %d, body %v, want 404", status, m)
+	}
+	// Named database whose bytes don't match the pinned fingerprint.
+	if status, m := postShard(t, hs.URL, `{"per":4,"minPS":3,"shard":0,"shards":2,"db":"shop","fingerprint":"00000000000000ff"}`); status != http.StatusConflict {
+		t.Errorf("fingerprint mismatch: status %d, body %v, want 409", status, m)
+	}
+	// No addressing at all.
+	if status, _ := postShard(t, hs.URL, `{"per":4,"minPS":3,"shard":0,"shards":2}`); status != http.StatusBadRequest {
+		t.Errorf("unaddressed task: status %d, want 400", status)
+	}
+	// Future schema version.
+	if status, m := postShard(t, hs.URL, fmt.Sprintf(`{"v":9,"fingerprint":%q,"per":4,"minPS":3,"shard":0,"shards":2}`, fp)); status != http.StatusBadRequest {
+		t.Errorf("future version: status %d, body %v, want 400", status, m)
+	} else if msg, _ := m["error"].(string); !strings.Contains(msg, "unsupported schema version") {
+		t.Errorf("version error message %q does not name the version problem", msg)
+	}
+	// Draining servers refuse shard tasks like they refuse mines.
+	s.BeginDrain()
+	if status, _ := postShard(t, hs.URL, fmt.Sprintf(`{"fingerprint":%q,"per":4,"minPS":3,"shard":0,"shards":2}`, fp)); status != http.StatusServiceUnavailable {
+		t.Errorf("draining: status %d, want 503", status)
+	}
+}
+
+func TestMineRejectsFutureVersion(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, nil)
+	status, m := postMine(t, hs.URL, `{"v":2,"db":"shop","per":4,"minPS":3}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("v2 request: status %d, body %v, want 400", status, m)
+	}
+	if msg, _ := m["error"].(string); !strings.Contains(msg, "unsupported schema version 2") {
+		t.Errorf("error message %q does not name the version problem", msg)
+	}
+}
+
+// TestPeersModeCoordinator stands up two real peer servers and a
+// coordinator configured with -peers semantics, and pins the gathered
+// /v1/mine response against a single-box server over the same database.
+func TestPeersModeCoordinator(t *testing.T) {
+	db := testDB()
+	newPeer := func() *httptest.Server {
+		s, err := NewServer(Config{}, map[string]*tsdb.DB{"whatever": db})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(s.Handler())
+		t.Cleanup(hs.Close)
+		return hs
+	}
+	p1, p2 := newPeer(), newPeer()
+
+	coord, err := NewServer(Config{Peers: []string{p1.URL, p2.URL}, Shards: 3},
+		map[string]*tsdb.DB{"shop": db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := httptest.NewServer(coord.Handler())
+	t.Cleanup(chs.Close)
+	_, shs := newTestServer(t, Config{}, nil) // single-box reference
+
+	body := `{"db":"shop","per":4,"minPS":3,"minRec":1,"collectStats":true}`
+	status, got := postMine(t, chs.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("scattered mine: status %d, body %v", status, got)
+	}
+	if got["partial"] != nil {
+		t.Errorf("healthy scatter marked partial: %v", got["partial"])
+	}
+	_, want := postMine(t, shs.URL, body)
+
+	gp, _ := json.Marshal(got["patterns"])
+	wp, _ := json.Marshal(want["patterns"])
+	if string(gp) != string(wp) {
+		t.Errorf("scattered patterns diverge from single-box:\n%s\nvs\n%s", gp, wp)
+	}
+	// Stats merge semantics: examined/pruned/candidates/depth match the
+	// single-box run exactly; TreeNodes overcounts by design (each shard
+	// builds its own copy of the initial tree).
+	gs := got["stats"].(map[string]any)
+	ws := want["stats"].(map[string]any)
+	for _, f := range []string{"PatternsExamined", "PatternsPruned", "CandidateItems", "MaxDepth"} {
+		if gs[f] != ws[f] {
+			t.Errorf("scattered stats field %s = %v, single-box %v", f, gs[f], ws[f])
+		}
+	}
+	if gs["TreeNodes"].(float64) < ws["TreeNodes"].(float64) {
+		t.Errorf("scattered TreeNodes %v below single-box %v", gs["TreeNodes"], ws["TreeNodes"])
+	}
+
+	// The per-peer counters surface in /v1/stats and /metrics.
+	stats := getStats(t, chs.URL)
+	peers, ok := stats["shardPeers"].([]any)
+	if !ok || len(peers) != 2 {
+		t.Fatalf("stats shardPeers = %v, want 2 entries", stats["shardPeers"])
+	}
+	var success float64
+	for _, raw := range peers {
+		success += raw.(map[string]any)["success"].(float64)
+	}
+	if success != 3 {
+		t.Errorf("peer success counters sum to %v, want 3", success)
+	}
+	resp, err := http.Get(chs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	prom, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "rpserved_shard_peer_success_total{peer=") {
+		t.Error("metrics output lacks the per-peer shard counter family")
+	}
+
+	// A second identical request hits the coordinator's cache: no new
+	// shard traffic.
+	if status, m := postMine(t, chs.URL, body); status != http.StatusOK || m["cached"] != true {
+		t.Errorf("repeat scattered mine not cached: status %d, cached=%v", status, m["cached"])
+	}
+}

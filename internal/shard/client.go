@@ -1,0 +1,347 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/recurpat/rp/internal/api"
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// ClientConfig tunes the remote executor. The zero value of each field
+// resolves to the documented default.
+type ClientConfig struct {
+	// Peers are the base URLs of the rpserved peers ("http://host:port").
+	// At least one is required; order does not matter (the ring hashes
+	// them).
+	Peers []string
+	// Timeout bounds one POST attempt, connection and body included.
+	// 0 → 30s, negative → no per-attempt bound (the request context still
+	// applies).
+	Timeout time.Duration
+	// Retries is how many additional attempts a failed task gets, each on
+	// the next peer of its failover sequence with exponential backoff in
+	// between. 0 → 2, negative → none.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per retry.
+	// 0 → 100ms, negative → none.
+	Backoff time.Duration
+	// Hedge, when positive, fires a duplicate request at the next peer of
+	// the failover sequence if the primary has not answered within the
+	// delay; the first success wins and the loser is cancelled. Off by
+	// default — hedging buys tail latency with duplicated work.
+	Hedge time.Duration
+	// HTTPClient overrides the transport; nil uses http.DefaultClient.
+	// Per-attempt timeouts come from Timeout via the request context, so
+	// the client's own Timeout field should stay zero.
+	HTTPClient *http.Client
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Timeout < 0 {
+		c.Timeout = 0
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.Backoff < 0 {
+		c.Backoff = 0
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	return c
+}
+
+// peerCounters is one peer's atomic outcome counters, exported through
+// PeerStats for /metrics and /v1/stats.
+type peerCounters struct {
+	url       string
+	success   atomic.Int64
+	failure   atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+}
+
+// PeerStats is a point-in-time copy of one peer's counters.
+type PeerStats struct {
+	URL string `json:"url"`
+	// Success and Failure count completed attempts against this peer.
+	Success int64 `json:"success"`
+	Failure int64 `json:"failure"`
+	// Retries counts attempts that were re-dispatches of a previously
+	// failed task; Hedges duplicate requests fired by the hedging timer,
+	// and HedgeWins the hedged requests that answered first.
+	Retries   int64 `json:"retries"`
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedgeWins"`
+}
+
+// Client executes shard tasks on remote rpserved peers over HTTP: POST
+// /v1/shard/mine with consistent-hash routing on (fingerprint, shard
+// index), bounded retries with exponential backoff walking the task's
+// failover sequence, and optional hedged requests. A Client is safe for
+// concurrent use; one serves every task of a coordinator's scatter.
+type Client struct {
+	cfg   ClientConfig
+	ring  ring
+	peers []*peerCounters // sorted by URL; ring peer indexes point here
+}
+
+// NewClient builds a client over the configured peer set.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	urls := make([]string, 0, len(cfg.Peers))
+	for _, u := range cfg.Peers {
+		u = strings.TrimRight(u, "/")
+		if u == "" {
+			return nil, fmt.Errorf("shard: empty peer URL")
+		}
+		urls = append(urls, u)
+	}
+	slices.Sort(urls)
+	urls = slices.Compact(urls)
+	r, err := newRing(urls)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{cfg: cfg.withDefaults(), ring: r}
+	for _, u := range urls {
+		c.peers = append(c.peers, &peerCounters{url: u})
+	}
+	return c, nil
+}
+
+// Peers reports the deduplicated, sorted peer URLs the client routes over.
+func (c *Client) Peers() []string {
+	urls := make([]string, len(c.peers))
+	for i, p := range c.peers {
+		urls[i] = p.url
+	}
+	return urls
+}
+
+// Stats snapshots the per-peer counters, sorted by URL for deterministic
+// exposition.
+func (c *Client) Stats() []PeerStats {
+	out := make([]PeerStats, len(c.peers))
+	for i, p := range c.peers {
+		out[i] = PeerStats{
+			URL:       p.url,
+			Success:   p.success.Load(),
+			Failure:   p.failure.Load(),
+			Retries:   p.retries.Load(),
+			Hedges:    p.hedges.Load(),
+			HedgeWins: p.hedgeWins.Load(),
+		}
+	}
+	return out
+}
+
+// Execute runs one shard task remotely: the task's failover sequence comes
+// off the ring, the first attempt goes to its home peer, and each failed
+// attempt moves to the next peer after a doubling backoff, up to Retries
+// re-dispatches. A context error stops retrying immediately — the caller
+// cancelled or the scatter was failed fast; backoff waits also abort on
+// ctx.
+func (c *Client) Execute(ctx context.Context, db *tsdb.DB, o core.Options, t Task) (*Partial, error) {
+	body, err := json.Marshal(api.ShardMineRequest{
+		MineRequest: api.FromCoreOptions(o),
+		Shard:       t.Index,
+		Shards:      t.Count,
+		Fingerprint: fmt.Sprintf("%016x", t.FP),
+	})
+	if err != nil {
+		return nil, err
+	}
+	seq := c.ring.sequence(t.key())
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		if attempt > 0 {
+			c.peers[seq[attempt%len(seq)]].retries.Add(1)
+			if !sleep(ctx, c.cfg.Backoff<<(attempt-1)) {
+				return nil, lastErr
+			}
+		}
+		p, err := c.attempt(ctx, db, body, t, seq, attempt)
+		if err == nil {
+			return p, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("shard %d/%d: %d attempts failed: %w", t.Index, t.Count, c.cfg.Retries+1, lastErr)
+}
+
+// sleep waits for d or until ctx fires; it reports whether the full wait
+// elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// attemptOutcome carries one in-flight request's result to the attempt
+// loop.
+type attemptOutcome struct {
+	p      *Partial
+	err    error
+	peer   int
+	hedged bool
+}
+
+// attempt performs one (possibly hedged) dispatch of the task: the primary
+// request goes to the attempt's peer in the failover sequence; when
+// hedging is on and the primary is quiet past the hedge delay, a duplicate
+// fires at the next peer and the first success wins, cancelling the loser.
+func (c *Client) attempt(ctx context.Context, db *tsdb.DB, body []byte, t Task, seq []int, attempt int) (*Partial, error) {
+	primary := seq[attempt%len(seq)]
+	if c.cfg.Hedge <= 0 || len(seq) < 2 {
+		return c.post(ctx, db, body, t, primary)
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Buffered to the maximum in-flight count: a loser's send never
+	// blocks, so cancelled goroutines always exit.
+	results := make(chan attemptOutcome, 2)
+	post := func(peer int, hedged bool) {
+		go func() {
+			p, err := c.post(actx, db, body, t, peer)
+			results <- attemptOutcome{p: p, err: err, peer: peer, hedged: hedged}
+		}()
+	}
+	post(primary, false)
+	inFlight := 1
+	hedgeTimer := time.NewTimer(c.cfg.Hedge)
+	defer hedgeTimer.Stop()
+	var firstErr error
+	for {
+		select {
+		case out := <-results:
+			inFlight--
+			if out.err == nil {
+				if out.hedged {
+					c.peers[out.peer].hedgeWins.Add(1)
+				}
+				return out.p, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if inFlight == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeTimer.C:
+			hedge := seq[(attempt+1)%len(seq)]
+			c.peers[hedge].hedges.Add(1)
+			post(hedge, true)
+			inFlight++
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// post performs one POST /v1/shard/mine against one peer, verifying the
+// response's version, fingerprint and task identity, and mapping the wire
+// patterns back to item IDs against the coordinator's copy of the
+// database.
+func (c *Client) post(ctx context.Context, db *tsdb.DB, body []byte, t Task, peer int) (*Partial, error) {
+	pc := c.peers[peer]
+	pctx := ctx
+	if c.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		pctx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(pctx, http.MethodPost, pc.url+"/v1/shard/mine", bytes.NewReader(body))
+	if err != nil {
+		pc.failure.Add(1)
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		pc.failure.Add(1)
+		return nil, fmt.Errorf("shard: peer %s: %w", pc.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		pc.failure.Add(1)
+		return nil, fmt.Errorf("shard: peer %s: %s: %s", pc.url, resp.Status, errorBody(resp.Body))
+	}
+	sr, err := api.DecodeShardMineResponse(resp.Body)
+	if err != nil {
+		pc.failure.Add(1)
+		return nil, fmt.Errorf("shard: peer %s: decoding response: %w", pc.url, err)
+	}
+	if want := fmt.Sprintf("%016x", t.FP); sr.Fingerprint != want {
+		pc.failure.Add(1)
+		return nil, fmt.Errorf("shard: peer %s mined fingerprint %s, want %s", pc.url, sr.Fingerprint, want)
+	}
+	if sr.Shard != t.Index || sr.Shards != t.Count {
+		pc.failure.Add(1)
+		return nil, fmt.Errorf("shard: peer %s answered task %d/%d, want %d/%d",
+			pc.url, sr.Shard, sr.Shards, t.Index, t.Count)
+	}
+	patterns, err := api.PatternsToCore(db, sr.Patterns)
+	if err != nil {
+		pc.failure.Add(1)
+		return nil, fmt.Errorf("shard: peer %s: %w", pc.url, err)
+	}
+	pc.success.Add(1)
+	p := &Partial{
+		Task:     t,
+		Patterns: patterns,
+		MineTime: time.Duration(sr.MiningMS * 1e6),
+	}
+	if sr.Stats != nil {
+		p.Stats = *sr.Stats
+	}
+	return p, nil
+}
+
+// errorBody extracts the message of an api.ErrorResponse body, falling
+// back to a bounded raw prefix for non-JSON errors.
+func errorBody(r io.Reader) string {
+	raw, err := io.ReadAll(io.LimitReader(r, 4096))
+	if err != nil || len(raw) == 0 {
+		return "(no body)"
+	}
+	var e api.ErrorResponse
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}

@@ -1,0 +1,269 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/recurpat/rp/internal/api"
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// stubPeer is an httptest peer speaking the /v1/shard/mine wire protocol
+// over api + core directly — the protocol contract the real rpserved
+// handler also implements. failFirst makes the first N requests 500 to
+// exercise retries.
+type stubPeer struct {
+	db        *tsdb.DB
+	requests  atomic.Int64
+	failFirst int64
+	delay     time.Duration
+	srv       *httptest.Server
+}
+
+func newStubPeer(t *testing.T, db *tsdb.DB) *stubPeer {
+	t.Helper()
+	p := &stubPeer{db: db}
+	p.srv = httptest.NewServer(http.HandlerFunc(p.handle))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func (p *stubPeer) handle(w http.ResponseWriter, r *http.Request) {
+	n := p.requests.Add(1)
+	if p.delay > 0 {
+		select {
+		case <-time.After(p.delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if n <= p.failFirst {
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: "injected peer failure"})
+		return
+	}
+	req, err := api.DecodeShardMineRequest(r.Body)
+	if err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
+		return
+	}
+	if want := fmt.Sprintf("%016x", p.db.Fingerprint()); req.Fingerprint != want {
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: "no dataset with fingerprint " + req.Fingerprint})
+		return
+	}
+	o, err := req.ToCoreOptions(p.db.Len())
+	if err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
+		return
+	}
+	res, err := core.MineShardContext(r.Context(), p.db, o,
+		core.ShardSpec{Index: req.Shard, Count: req.Shards})
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(api.ShardMineResponse{
+		V:           api.Version,
+		Fingerprint: req.Fingerprint,
+		Shard:       req.Shard,
+		Shards:      req.Shards,
+		Count:       len(res.Patterns),
+		Patterns:    api.PatternsFromCore(p.db, res.Patterns),
+		Stats:       &res.Stats,
+	})
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(ClientConfig{}); err == nil {
+		t.Error("want error for empty peer set")
+	}
+	if _, err := NewClient(ClientConfig{Peers: []string{""}}); err == nil {
+		t.Error("want error for blank peer URL")
+	}
+	c, err := NewClient(ClientConfig{Peers: []string{"http://b:1/", "http://a:1", "http://a:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Peers(); len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:1" {
+		t.Errorf("peers not deduplicated/sorted/trimmed: %v", got)
+	}
+}
+
+// TestClientRemoteEquivalence mines through two real HTTP stub peers and
+// pins the result against the single-box mine.
+func TestClientRemoteEquivalence(t *testing.T) {
+	db := testDB(11, 10, 50, 0.4)
+	p1, p2 := newStubPeer(t, db), newStubPeer(t, db)
+	client, err := NewClient(ClientConfig{Peers: []string{p1.srv.URL, p2.srv.URL}, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.Options{Per: 4, MinPS: 2, MinRec: 1, CollectStats: true}
+	want, err := core.MineContext(context.Background(), db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Coordinator{Count: 3, Exec: client}
+	got, err := c.Mine(context.Background(), db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Result.Equal(want) {
+		t.Errorf("remote scatter diverged from single-box (%d vs %d patterns)",
+			len(got.Patterns), len(want.Patterns))
+	}
+	if got.Stats.PatternsExamined != want.Stats.PatternsExamined {
+		t.Errorf("examined = %d, want %d", got.Stats.PatternsExamined, want.Stats.PatternsExamined)
+	}
+	var success int64
+	for _, ps := range client.Stats() {
+		success += ps.Success
+		if ps.Failure != 0 {
+			t.Errorf("peer %s recorded %d failures", ps.URL, ps.Failure)
+		}
+	}
+	if success != 3 {
+		t.Errorf("success counters sum to %d, want 3", success)
+	}
+	// A single fingerprint's 3 tasks may legitimately all home on one peer;
+	// only the total matters here (spread over many plans is pinned by
+	// TestRingSpreadsTasks).
+	if total := p1.requests.Load() + p2.requests.Load(); total != 3 {
+		t.Errorf("peers served %d requests, want 3", total)
+	}
+}
+
+// TestClientRetriesFailover exercises retry-with-backoff onto the next
+// ring peer when the home peer errors.
+func TestClientRetriesFailover(t *testing.T) {
+	db := testDB(13, 8, 40, 0.4)
+	bad, good := newStubPeer(t, db), newStubPeer(t, db)
+	bad.failFirst = 1 << 30 // always fails
+	client, err := NewClient(ClientConfig{
+		Peers:   []string{bad.srv.URL, good.srv.URL},
+		Retries: 3,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.Options{Per: 4, MinPS: 2, MinRec: 1}
+	want, err := core.MineContext(context.Background(), db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Coordinator{Count: 2, Exec: client}
+	got, err := c.Mine(context.Background(), db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Result.Equal(want) {
+		t.Error("failover scatter diverged from single-box")
+	}
+	var retries, failures int64
+	for _, ps := range client.Stats() {
+		retries += ps.Retries
+		failures += ps.Failure
+	}
+	if bad.requests.Load() > 0 && (failures == 0) {
+		t.Errorf("bad peer served %d requests but no failures counted", bad.requests.Load())
+	}
+	if bad.requests.Load() > 0 && retries == 0 {
+		t.Error("failover happened but no retries counted")
+	}
+}
+
+func TestClientExhaustedRetries(t *testing.T) {
+	db := testDB(13, 8, 40, 0.4)
+	bad := newStubPeer(t, db)
+	bad.failFirst = 1 << 30
+	client, err := NewClient(ClientConfig{
+		Peers:   []string{bad.srv.URL},
+		Retries: 2,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Execute(context.Background(), db, core.Options{Per: 4, MinPS: 2, MinRec: 1},
+		Task{Index: 0, Count: 1, FP: db.Fingerprint()})
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	if !strings.Contains(err.Error(), "3 attempts failed") {
+		t.Errorf("error does not report attempt count: %v", err)
+	}
+	if !strings.Contains(err.Error(), "injected peer failure") {
+		t.Errorf("error lost the peer's message: %v", err)
+	}
+	if got := bad.requests.Load(); got != 3 {
+		t.Errorf("peer saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestClientHedging delays every peer response beyond the hedge trigger so
+// a hedged duplicate fires; the mine must still come back correct and the
+// hedge counters move.
+func TestClientHedging(t *testing.T) {
+	db := testDB(17, 8, 40, 0.4)
+	p1, p2 := newStubPeer(t, db), newStubPeer(t, db)
+	p1.delay, p2.delay = 30*time.Millisecond, 30*time.Millisecond
+	client, err := NewClient(ClientConfig{
+		Peers:   []string{p1.srv.URL, p2.srv.URL},
+		Hedge:   time.Millisecond,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.Options{Per: 4, MinPS: 2, MinRec: 1}
+	want, err := core.MineContext(context.Background(), db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.Execute(context.Background(), db, o, Task{Index: 0, Count: 1, FP: db.Fingerprint()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Reduce([]*Partial{p})
+	if !res.Equal(want) {
+		t.Error("hedged mine diverged from single-box")
+	}
+	var hedges int64
+	for _, ps := range client.Stats() {
+		hedges += ps.Hedges
+	}
+	if hedges == 0 {
+		t.Error("hedge timer never fired despite slow peers")
+	}
+}
+
+func TestClientRejectsWrongFingerprint(t *testing.T) {
+	db := testDB(19, 6, 30, 0.5)
+	other := testDB(23, 6, 30, 0.5)
+	peer := newStubPeer(t, other) // peer holds a different database
+	client, err := NewClient(ClientConfig{Peers: []string{peer.srv.URL}, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Execute(context.Background(), db, core.Options{Per: 4, MinPS: 2, MinRec: 1},
+		Task{Index: 0, Count: 1, FP: db.Fingerprint()})
+	if err == nil {
+		t.Fatal("want error when the peer does not hold the fingerprint")
+	}
+	if !strings.Contains(err.Error(), "no dataset with fingerprint") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

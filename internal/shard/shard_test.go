@@ -1,0 +1,272 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+// testDB builds a deterministic random database: nItems item names over
+// nTS timestamps, each (item, ts) pair present with the given density.
+func testDB(seed int64, nItems, nTS int, density float64) *tsdb.DB {
+	rng := rand.New(rand.NewSource(seed))
+	b := tsdb.NewBuilder()
+	for ts := 1; ts <= nTS; ts++ {
+		for i := 0; i < nItems; i++ {
+			if rng.Float64() < density {
+				b.Add(fmt.Sprintf("item%02d", i), int64(ts))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestPlan(t *testing.T) {
+	tasks, err := Plan(0xdeadbeef, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 3 {
+		t.Fatalf("planned %d tasks, want 3", len(tasks))
+	}
+	for i, task := range tasks {
+		if task.Index != i || task.Count != 3 || task.FP != 0xdeadbeef {
+			t.Errorf("task %d = %+v", i, task)
+		}
+	}
+	if _, err := Plan(1, 0); err == nil {
+		t.Error("want error for zero shard count")
+	}
+	if _, err := Plan(1, -2); err == nil {
+		t.Error("want error for negative shard count")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Policy
+	}{{"", FailFast}, {"fail-fast", FailFast}, {"best-effort", BestEffort}} {
+		p, err := ParsePolicy(c.in)
+		if err != nil || p != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", c.in, p, err)
+		}
+	}
+	if _, err := ParsePolicy("yolo"); err == nil {
+		t.Error("want error for unknown policy")
+	}
+	if FailFast.String() != "fail-fast" || BestEffort.String() != "best-effort" {
+		t.Error("policy String/Parse forms disagree")
+	}
+}
+
+func TestRingDeterministicSequences(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, err := newRing(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := newRing(urls)
+	for key := uint64(0); key < 64; key++ {
+		s1, s2 := r1.sequence(key*0x9e3779b97f4a7c15), r2.sequence(key*0x9e3779b97f4a7c15)
+		if len(s1) != len(urls) || len(s2) != len(urls) {
+			t.Fatalf("sequence for key %d has %d/%d peers, want %d", key, len(s1), len(s2), len(urls))
+		}
+		seen := make(map[int]bool)
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("ring sequences diverge for key %d: %v vs %v", key, s1, s2)
+			}
+			if seen[s1[i]] {
+				t.Fatalf("sequence repeats peer %d: %v", s1[i], s1)
+			}
+			seen[s1[i]] = true
+		}
+	}
+	if _, err := newRing(nil); err == nil {
+		t.Error("want error for empty peer set")
+	}
+}
+
+func TestRingSpreadsTasks(t *testing.T) {
+	r, err := newRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tasks of many plans should land on more than one home peer.
+	homes := make(map[int]int)
+	for fp := uint64(1); fp <= 32; fp++ {
+		tasks, _ := Plan(fp, 4)
+		for _, task := range tasks {
+			homes[r.sequence(task.key())[0]]++
+		}
+	}
+	if len(homes) < 2 {
+		t.Errorf("all tasks homed on one peer: %v", homes)
+	}
+}
+
+// TestCoordinatorEquivalence pins the reducer determinism property: the
+// gathered scatter is byte-identical to the single-box mine for every
+// shard count, option set, and database tried.
+func TestCoordinatorEquivalence(t *testing.T) {
+	optSets := []core.Options{
+		{Per: 4, MinPS: 2, MinRec: 1},
+		{Per: 4, MinPS: 2, MinRec: 1, Parallelism: 3, CollectStats: true},
+		{Per: 6, MinPS: 3, MinRec: 2, ItemOrder: core.Lexicographic},
+		{Per: 4, MinPS: 2, MinRec: 1, MaxLen: 2, DisableErecPruning: true},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		db := testDB(seed, 12, 60, 0.35)
+		for oi, o := range optSets {
+			want, err := core.MineContext(context.Background(), db, o)
+			if err != nil {
+				t.Fatalf("seed %d opts %d: single-box: %v", seed, oi, err)
+			}
+			for _, count := range []int{1, 2, 3, 7} {
+				c := &Coordinator{Count: count, Exec: Local{}}
+				got, err := c.Mine(context.Background(), db, o)
+				if err != nil {
+					t.Fatalf("seed %d opts %d shards %d: %v", seed, oi, count, err)
+				}
+				if got.Partial || got.FailedShards != nil {
+					t.Fatalf("seed %d opts %d shards %d: unexpected partial marker", seed, oi, count)
+				}
+				if !got.Result.Equal(want) {
+					t.Errorf("seed %d opts %d shards %d: scatter diverged from single-box (%d vs %d patterns)",
+						seed, oi, count, len(got.Patterns), len(want.Patterns))
+				}
+			}
+		}
+	}
+}
+
+// failExec fails the tasks whose index is in fail, delegating the rest.
+type failExec struct {
+	inner Executor
+	fail  map[int]bool
+}
+
+func (f failExec) Execute(ctx context.Context, db *tsdb.DB, o core.Options, task Task) (*Partial, error) {
+	if f.fail[task.Index] {
+		return nil, fmt.Errorf("injected failure on shard %d", task.Index)
+	}
+	return f.inner.Execute(ctx, db, o, task)
+}
+
+func TestCoordinatorBestEffortPartial(t *testing.T) {
+	db := testDB(7, 10, 50, 0.4)
+	o := core.Options{Per: 4, MinPS: 2, MinRec: 1}
+	c := &Coordinator{
+		Count:  3,
+		Exec:   failExec{inner: Local{}, fail: map[int]bool{1: true}},
+		Policy: BestEffort,
+	}
+	got, err := c.Mine(context.Background(), db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Partial || len(got.FailedShards) != 1 || got.FailedShards[0] != 1 {
+		t.Fatalf("partial marker wrong: partial=%v failed=%v", got.Partial, got.FailedShards)
+	}
+	// The surviving shards' merge is deterministic: re-running yields the
+	// same patterns, and they are exactly the survivors' single-shard sets.
+	again, err := c.Mine(context.Background(), db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Result.Equal(again.Result) {
+		t.Error("best-effort survivors not deterministic across runs")
+	}
+	var parts []*Partial
+	for _, idx := range []int{0, 2} {
+		p, err := Local{}.Execute(context.Background(), db, o, Task{Index: idx, Count: 3, FP: db.Fingerprint()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	if want := Reduce(parts); !got.Result.Equal(want) {
+		t.Errorf("partial result is not the survivors' merge (%d vs %d patterns)",
+			len(got.Patterns), len(want.Patterns))
+	}
+	// A full mine must differ (shard 1 owned at least one suffix item here).
+	full, err := core.MineContext(context.Background(), db, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Equal(full) {
+		t.Error("partial result unexpectedly equals the full mine; failure injection inert")
+	}
+}
+
+func TestCoordinatorFailFast(t *testing.T) {
+	db := testDB(9, 8, 40, 0.4)
+	o := core.Options{Per: 4, MinPS: 2, MinRec: 1}
+	c := &Coordinator{Count: 4, Exec: failExec{inner: Local{}, fail: map[int]bool{2: true}}}
+	_, err := c.Mine(context.Background(), db, o)
+	if err == nil {
+		t.Fatal("want error under fail-fast")
+	}
+	if want := "injected failure on shard 2"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error lost the root cause: %v", err)
+	}
+}
+
+func TestCoordinatorAllShardsFailedBestEffort(t *testing.T) {
+	db := testDB(3, 6, 30, 0.5)
+	c := &Coordinator{
+		Count:  2,
+		Exec:   failExec{inner: Local{}, fail: map[int]bool{0: true, 1: true}},
+		Policy: BestEffort,
+	}
+	if _, err := c.Mine(context.Background(), db, core.Options{Per: 4, MinPS: 2, MinRec: 1}); err == nil {
+		t.Fatal("want error when every shard fails, even best-effort")
+	}
+}
+
+func TestCoordinatorCancelled(t *testing.T) {
+	db := testDB(5, 10, 50, 0.4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Coordinator{Count: 3, Exec: Local{}}
+	_, err := c.Mine(ctx, db, core.Options{Per: 4, MinPS: 2, MinRec: 1})
+	if err == nil {
+		t.Fatal("want error for pre-cancelled context")
+	}
+	var cerr *core.CancelError
+	if !errors.As(err, &cerr) {
+		t.Errorf("want *core.CancelError, got %T: %v", err, err)
+	}
+}
+
+func TestLocalRejectsWrongFingerprint(t *testing.T) {
+	db := testDB(2, 6, 30, 0.5)
+	_, err := Local{}.Execute(context.Background(), db, core.Options{Per: 4, MinPS: 2, MinRec: 1},
+		Task{Index: 0, Count: 1, FP: db.Fingerprint() + 1})
+	if err == nil {
+		t.Fatal("want fingerprint mismatch error")
+	}
+}
+
+func TestReduceSkipsNil(t *testing.T) {
+	db := testDB(4, 8, 40, 0.4)
+	o := core.Options{Per: 4, MinPS: 2, MinRec: 1, CollectStats: true}
+	p0, err := Local{}.Execute(context.Background(), db, o, Task{Index: 0, Count: 2, FP: db.Fingerprint()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Reduce([]*Partial{p0, nil})
+	if len(res.Patterns) != len(p0.Patterns) {
+		t.Errorf("Reduce with nil partial has %d patterns, want %d", len(res.Patterns), len(p0.Patterns))
+	}
+	if res.Stats.PatternsExamined != p0.Stats.PatternsExamined {
+		t.Errorf("stats merge wrong: %+v", res.Stats)
+	}
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# smoke_shard.sh — end-to-end test of sharded scatter-gather mining: a
+# local `rpmine -shards 3` run must print byte-identical patterns to the
+# direct mine, and an rpserved coordinator scattering over two real peer
+# servers must return the same /v1/mine response a single-box server does
+# (modulo timing fields), with the per-peer shard counters visible in
+# /metrics. Needs curl; run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# start_server <logfile> <args...> — launches rpserved, records its pid,
+# and prints the address it reports.
+start_server() {
+    local log=$1; shift
+    "$workdir/rpserved" "$@" -listen 127.0.0.1:0 >"$log" 2>&1 &
+    local pid=$!
+    pids+=("$pid")
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^rpserved: listening on //p' "$log")
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || { cat "$log" >&2; return 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "server never reported its address" >&2; cat "$log" >&2; return 1; }
+    echo "$addr"
+}
+
+echo "== build"
+go build -o "$workdir/rpgen" ./cmd/rpgen
+go build -o "$workdir/rpmine" ./cmd/rpmine
+go build -o "$workdir/rpserved" ./cmd/rpserved
+
+echo "== generate a small dataset"
+"$workdir/rpgen" -dataset shop14 -scale 0.02 -out "$workdir/shop.tdb"
+
+echo "== rpmine -shards 3 is byte-identical to the direct mine"
+"$workdir/rpmine" -input "$workdir/shop.tdb" -per 60 -minps-pct 2 -minrec 1 >"$workdir/direct.txt"
+"$workdir/rpmine" -input "$workdir/shop.tdb" -per 60 -minps-pct 2 -minrec 1 -shards 3 >"$workdir/sharded.txt"
+diff "$workdir/direct.txt" "$workdir/sharded.txt" \
+    || { echo "sharded rpmine output diverges from the direct mine"; exit 1; }
+[ -s "$workdir/direct.txt" ] || { echo "direct mine found no patterns; smoke proves nothing"; exit 1; }
+
+echo "== start two peers and a coordinator"
+p1=$(start_server "$workdir/peer1.log" -db shop="$workdir/shop.tdb")
+p2=$(start_server "$workdir/peer2.log" -db shop="$workdir/shop.tdb")
+echo "   peers on $p1, $p2"
+coord=$(start_server "$workdir/coord.log" -db shop="$workdir/shop.tdb" \
+    -peers "http://$p1,http://$p2" -shards 3)
+echo "   coordinator on $coord"
+
+echo "== scattered /v1/mine matches the single-box response"
+req='{"db":"shop","per":60,"minPSPercent":2,"minRec":1}'
+# elapsedMS/miningMS are wall times and cached flips on repeats; everything
+# else — count, patterns, intervals — must match byte for byte (writeJSON
+# indents, so each field sits on its own line).
+curl -sf "http://$coord/v1/mine" -d "$req" \
+    | grep -vE '"(elapsedMS|miningMS|cached)":' >"$workdir/scattered.json"
+curl -sf "http://$p1/v1/mine" -d "$req" \
+    | grep -vE '"(elapsedMS|miningMS|cached)":' >"$workdir/singlebox.json"
+diff "$workdir/scattered.json" "$workdir/singlebox.json" \
+    || { echo "scattered response diverges from single-box"; exit 1; }
+grep -q '"partial"' "$workdir/scattered.json" \
+    && { echo "healthy scatter marked partial"; exit 1; }
+
+echo "== per-peer shard counters in /metrics"
+metrics=$(curl -sf "http://$coord/metrics")
+for peer in "http://$p1" "http://$p2"; do
+    grep -q "^rpserved_shard_peer_success_total{peer=\"$peer\"} " <<<"$metrics" \
+        || { echo "metrics missing success counter for $peer:"; echo "$metrics" | grep shard_peer || true; exit 1; }
+done
+total=$(grep '^rpserved_shard_peer_success_total' <<<"$metrics" | awk '{s+=$2} END {print s}')
+[ "$total" = "3" ] || { echo "peer success counters sum to $total, want 3"; exit 1; }
+
+echo "== peers recorded the shard requests"
+peer_shards=0
+for log in peer1 peer2; do
+    s=$(curl -sf "http://$([ "$log" = peer1 ] && echo "$p1" || echo "$p2")/v1/stats" \
+        | grep -o '"shardRequests": [0-9]*' | grep -o '[0-9]*$')
+    peer_shards=$((peer_shards + s))
+done
+[ "$peer_shards" = "3" ] || { echo "peers saw $peer_shards shard requests, want 3"; exit 1; }
+
+echo "== repeat scattered mine is a coordinator cache hit"
+warm=$(curl -sf "http://$coord/v1/mine" -d "$req")
+grep -q '"cached": true' <<<"$warm" || { echo "repeat scattered mine missed the cache: $warm"; exit 1; }
+
+echo "== graceful shutdown"
+for pid in "${pids[@]}"; do
+    kill -TERM "$pid"
+done
+for pid in "${pids[@]}"; do
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "server $pid did not exit after SIGTERM"; exit 1
+    fi
+done
+pids=()
+
+echo "== ok"
