@@ -30,6 +30,9 @@
 //	DELETE /v1/datasets/{fp} evict one dataset
 //	GET  /v1/stats   serving counters, cache state, runtime health,
 //	                 database inventory
+//	GET  /v1/fleet/stats  (coordinators only) this server's stats plus
+//	                      every peer's /v1/stats, fetched in parallel;
+//	                      unreachable peers degrade to an error string
 //	GET  /metrics    Prometheus text exposition (counters, mining and
 //	                 per-phase time histograms, serving and Go runtime
 //	                 health gauges)
@@ -52,7 +55,13 @@
 // /v1/shard/mine endpoints (consistent-hash routed, retried with backoff,
 // optionally hedged; see -shard-*) and the merged result is byte-identical
 // to a single-box mine. Peers must serve the same database bytes — tasks
-// pin the content fingerprint.
+// pin the content fingerprint. Shard RPCs carry the coordinator's request
+// id (X-Request-Id and the requestID body field), so every server's
+// /debug/requests journal joins on it, and traced mines collect each
+// peer's span timeline into one merged, clock-aligned flight record —
+// the coordinator's /debug/requests/trace renders per-peer Perfetto
+// lanes, and peer-reported phase times surface as
+// rpserved_shard_peer_phase_seconds in /metrics.
 //
 // On SIGINT/SIGTERM the server stops accepting mines, drains the in-flight
 // ones (bounded by -drain-timeout) and exits cleanly.

@@ -6,6 +6,10 @@
 //
 // Each argument is validated independently; "-" (or no arguments) reads
 // stdin. The exit status is non-zero if any input fails validation.
+// -phases breaks a trace down by algorithm phase; -by-lane breaks a merged
+// fleet trace down by process track (the coordinator plus one track per
+// shard peer), which is how to check every peer's lane made it into a
+// scatter-gather recording.
 //
 // Example:
 //
@@ -21,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 
 	"github.com/recurpat/rp/internal/cliio"
 	"github.com/recurpat/rp/internal/obs"
@@ -38,6 +44,7 @@ func run(args []string, dst io.Writer) error {
 	fs := flag.NewFlagSet("rptrace", flag.ContinueOnError)
 	quiet := fs.Bool("q", false, "validate only, printing nothing on success")
 	phases := fs.Bool("phases", false, "additionally print per-phase span counts and times")
+	byLane := fs.Bool("by-lane", false, "additionally print per-process-track totals (coordinator and each shard peer)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,14 +53,14 @@ func run(args []string, dst io.Writer) error {
 		paths = []string{"-"}
 	}
 	for _, path := range paths {
-		if err := check(path, *quiet, *phases, out); err != nil {
+		if err := check(path, *quiet, *phases, *byLane, out); err != nil {
 			return err
 		}
 	}
 	return out.Err()
 }
 
-func check(path string, quiet, phases bool, out *cliio.Writer) error {
+func check(path string, quiet, phases, byLane bool, out *cliio.Writer) error {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -119,8 +126,17 @@ func check(path string, quiet, phases bool, out *cliio.Writer) error {
 		agg.durUS += ev.Dur
 	}
 	fmt.Fprintf(out, "%s: valid: %d spans on %d lanes, %.2fms\n", path, spans, len(lanes), (max-min)/1e3)
-	if dropped := f.OtherData["droppedSpans"]; dropped != "" {
-		fmt.Fprintf(out, "  dropped spans: %s\n", dropped)
+	// The exporter writes the fleet-wide dropped-span total (the timelines'
+	// dropped counters, coordinator plus grafted peers) as a bare integer;
+	// parse it so garbage fails loudly instead of echoing through.
+	if raw := f.OtherData["droppedSpans"]; raw != "" {
+		dropped, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s: otherData.droppedSpans %q is not a count: %w", path, raw, err)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(out, "  dropped spans: %d (retention cap reached; aggregates still complete)\n", dropped)
+		}
 	}
 	if phases {
 		for _, name := range order {
@@ -128,5 +144,65 @@ func check(path string, quiet, phases bool, out *cliio.Writer) error {
 			fmt.Fprintf(out, "  %-12s %4d span(s) %10.2fms\n", agg.name, agg.count, agg.durUS/1e3)
 		}
 	}
+	if byLane {
+		printByLane(f.TraceEvents, out)
+	}
 	return nil
+}
+
+// printByLane summarizes a trace per process track: in a merged fleet
+// trace, pid 1 is the coordinator and each shard peer has its own pid, so
+// this is the per-peer breakdown of where span time went. Track names come
+// from the process_name metadata events.
+func printByLane(events []obs.TraceEvent, out *cliio.Writer) {
+	type track struct {
+		name    string
+		spans   int
+		instant int
+		lanes   map[int]bool
+		durUS   float64
+	}
+	tracks := map[int]*track{}
+	get := func(pid int) *track {
+		t := tracks[pid]
+		if t == nil {
+			t = &track{lanes: map[int]bool{}}
+			tracks[pid] = t
+		}
+		return t
+	}
+	for _, ev := range events {
+		t := get(ev.Pid)
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				if n, ok := ev.Args["name"].(string); ok {
+					t.name = n
+				}
+			}
+		case "X":
+			t.spans++
+			t.lanes[ev.Tid] = true
+			t.durUS += ev.Dur
+		case "i":
+			t.instant++
+		}
+	}
+	pids := make([]int, 0, len(tracks))
+	for pid := range tracks {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		t := tracks[pid]
+		name := t.name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		fmt.Fprintf(out, "  pid %d  %-32s %4d span(s) on %d lane(s) %10.2fms", pid, name, t.spans, len(t.lanes), t.durUS/1e3)
+		if t.instant > 0 {
+			fmt.Fprintf(out, "  %d event(s)", t.instant)
+		}
+		fmt.Fprintf(out, "\n")
+	}
 }

@@ -72,6 +72,85 @@ func TestValidTrace(t *testing.T) {
 	}
 }
 
+// fleetTrace is a handcrafted merged scatter-gather recording: the
+// coordinator track plus two peer tracks, one client annotation, and a
+// dropped-span count — the shape rpserved's /debug/requests/trace emits
+// for a traced fleet request.
+const fleetTrace = `{"traceEvents":[
+	{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"coordinator"}},
+	{"name":"total","ph":"X","ts":0,"dur":100,"pid":1,"tid":0},
+	{"name":"shard shard=0/2","ph":"X","ts":5,"dur":60,"pid":1,"tid":1},
+	{"name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"peer http://a:1"}},
+	{"name":"queue","ph":"X","ts":10,"dur":5,"pid":2,"tid":0},
+	{"name":"mine","ph":"X","ts":15,"dur":40,"pid":2,"tid":0},
+	{"name":"process_name","ph":"M","pid":3,"tid":0,"args":{"name":"peer http://b:1"}},
+	{"name":"queue","ph":"X","ts":12,"dur":3,"pid":3,"tid":0},
+	{"name":"retry 1 -> http://b:1","ph":"i","s":"p","ts":11,"pid":3,"tid":0}
+],"displayTimeUnit":"ms","otherData":{"droppedSpans":"3"}}`
+
+func writeTrace(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestByLane checks the per-process-track breakdown of a merged fleet
+// trace: every track appears by name with its span count, and client
+// annotations (instant events) are counted on the track they mark.
+func TestByLane(t *testing.T) {
+	path := writeTrace(t, fleetTrace)
+	var out bytes.Buffer
+	if err := run([]string{"-by-lane", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"pid 1  coordinator",
+		"pid 2  peer http://a:1",
+		"pid 3  peer http://b:1",
+		"2 span(s)",
+		"1 event(s)",
+		"dropped spans: 3",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-by-lane output lacks %q:\n%s", want, s)
+		}
+	}
+	// The summary counts spans across all tracks.
+	if !strings.Contains(s, "5 spans on") {
+		t.Errorf("summary span count wrong:\n%s", s)
+	}
+}
+
+// TestDroppedSpansParsing pins the summary's handling of the dropped-span
+// count: a malformed value is an error, not something to echo through.
+func TestDroppedSpansParsing(t *testing.T) {
+	bad := strings.Replace(fleetTrace, `"droppedSpans":"3"`, `"droppedSpans":"lots"`, 1)
+	path := writeTrace(t, bad)
+	var out bytes.Buffer
+	err := run([]string{path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "droppedSpans") {
+		t.Errorf("malformed droppedSpans: err = %v, want parse failure", err)
+	}
+	// -q skips the summary entirely, so the same file validates quietly.
+	out.Reset()
+	if err := run([]string{"-q", path}, &out); err != nil || out.Len() != 0 {
+		t.Errorf("-q on malformed droppedSpans: err=%v out=%q", err, out.String())
+	}
+	// A zero count prints no dropped-spans line.
+	out.Reset()
+	zero := strings.Replace(fleetTrace, `"droppedSpans":"3"`, `"droppedSpans":"0"`, 1)
+	if err := run([]string{writeTrace(t, zero)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "dropped spans") {
+		t.Errorf("zero dropped count still printed:\n%s", out.String())
+	}
+}
+
 func TestInvalidTrace(t *testing.T) {
 	dir := t.TempDir()
 	cases := map[string]string{

@@ -21,7 +21,7 @@ import (
 //	internal/ext       → internal/core, internal/tsdb, internal/seq
 //	internal/analysis  → nothing internal (stdlib-only by construction)
 //	internal/cliio     → internal/obs
-//	internal/api       → internal/core, internal/tsdb (the wire schema: no transport, no miner internals)
+//	internal/api       → internal/core, internal/tsdb, internal/obs (the wire schema: no transport, no miner internals; obs for the trace-context payload types)
 //	internal/shard     → internal/api, internal/core, internal/tsdb, internal/obs
 //	internal/serve     → internal/api, internal/shard, internal/core, internal/tsdb, internal/cliio, internal/obs
 //	internal/bench     → anything internal except cmd/
@@ -42,7 +42,7 @@ import (
 func LayeringPass() *Pass {
 	return &Pass{
 		Name:    "layering",
-		Version: 2,
+		Version: 3,
 		Doc:     "enforce the internal import DAG and the baseline/core measure-API boundary",
 		Run:     runLayering,
 	}
@@ -66,7 +66,7 @@ var layerRules = []layerRule{
 	{Prefix: "internal/ext", Allow: []string{"internal/core", "internal/tsdb", "internal/seq"}},
 	{Prefix: "internal/analysis", Allow: []string{}},
 	{Prefix: "internal/cliio", Allow: []string{"internal/obs"}},
-	{Prefix: "internal/api", Allow: []string{"internal/core", "internal/tsdb"}},
+	{Prefix: "internal/api", Allow: []string{"internal/core", "internal/tsdb", "internal/obs"}},
 	{Prefix: "internal/shard", Allow: []string{"internal/api", "internal/core", "internal/tsdb", "internal/obs"}},
 	{Prefix: "internal/serve", Allow: []string{"internal/api", "internal/shard", "internal/core", "internal/tsdb", "internal/cliio", "internal/obs"}},
 	{Prefix: "internal/bench", Allow: []string{"internal"}},

@@ -1,12 +1,12 @@
 package api
 
-// Seeded layering violation: the wire schema importing the observability
-// substrate, which its Allow rule (core, tsdb) does not cover — schema
-// types must stay transport- and telemetry-free.
+// Seeded layering violation: the wire schema importing a baseline miner,
+// which its Allow rule (core, tsdb, obs) does not cover — schema types
+// must stay free of algorithm implementations.
 
-import "example.com/rpfix/internal/obs"
+import "example.com/rpfix/internal/baseline/fake"
 
-// BadObserve drags telemetry into the schema: flagged.
-func BadObserve(p Pattern) int {
-	return obs.Count(p.Count)
+// BadBaseline drags a baseline implementation into the schema: flagged.
+func BadBaseline(p Pattern) int {
+	return fake.Compare(nil) + p.Count
 }

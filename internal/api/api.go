@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -159,6 +160,17 @@ type ShardMineRequest struct {
 	// with any other fingerprint must refuse the task: shards of one mine
 	// must agree on the bytes, not just on a name.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// RequestID is the coordinator's request ID, also sent as the
+	// X-Request-Id header. Peers journal the task under it, so the
+	// coordinator's and the peer's /debug/requests entries are joinable.
+	// Optional with a zero-value-compatible meaning (the peer mints its
+	// own), so it is a same-version (v1) addition.
+	RequestID string `json:"requestID,omitempty"`
+	// Trace asks the peer to record its run's span timeline and return it
+	// in ShardMineResponse.Timeline, so the coordinator can graft the
+	// peer's lane into one fleet-wide flight record. Optional: absent
+	// means untraced, exactly the pre-tracing behaviour.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ShardMineResponse is the JSON body of a successful POST /v1/shard/mine.
@@ -171,6 +183,17 @@ type ShardMineResponse struct {
 	MiningMS    float64         `json:"miningMS"`
 	Patterns    []Pattern       `json:"patterns"`
 	Stats       *core.MineStats `json:"stats,omitempty"`
+	// Phases is the peer's per-phase attribution of this task (only phases
+	// that observed time or work), whether or not a timeline was requested
+	// — it feeds the coordinator's per-peer per-phase metrics.
+	Phases []obs.PhaseStat `json:"phases,omitempty"`
+	// ElapsedNS is how long the peer spent handling the task, queueing
+	// included — the clock reference the coordinator aligns Timeline
+	// against (see obs.PeerTimeline.AlignOffset).
+	ElapsedNS int64 `json:"elapsedNS,omitempty"`
+	// Timeline is the peer's recorded span timeline, present only when the
+	// request set Trace and the peer retains timelines.
+	Timeline *obs.TimelineSnapshot `json:"timeline,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every failed request.

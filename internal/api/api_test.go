@@ -1,11 +1,14 @@
 package api
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
 
 	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -61,6 +64,76 @@ func TestDecodeShardMineRequest(t *testing.T) {
 	}
 	if _, err := DecodeShardMineRequest(strings.NewReader(`{"v":3,"per":1,"shard":0,"shards":1}`)); err == nil {
 		t.Error("want version error for v3 shard request")
+	}
+}
+
+// TestShardTraceContextRoundTrip covers the v1 trace-context additions:
+// the optional request ID / trace flag on the request and the phase report,
+// handling time and timeline on the response survive a strict-decode round
+// trip, and their absence decodes to the zero values (the pre-tracing
+// behaviour, which is what makes them same-version additions).
+func TestShardTraceContextRoundTrip(t *testing.T) {
+	req := ShardMineRequest{
+		MineRequest: MineRequest{V: Version, Per: 360, MinPS: 4},
+		Shard:       1, Shards: 3,
+		Fingerprint: "00000000deadbeef",
+		RequestID:   "0a1b2c3d-7",
+		Trace:       true,
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeShardMineRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RequestID != "0a1b2c3d-7" || !got.Trace {
+		t.Errorf("trace context lost in decode: id=%q trace=%v", got.RequestID, got.Trace)
+	}
+	// A pre-tracing coordinator's request still decodes, untraced.
+	old, err := DecodeShardMineRequest(strings.NewReader(
+		`{"v":1,"fingerprint":"00000000deadbeef","per":360,"minPS":4,"shard":0,"shards":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.RequestID != "" || old.Trace {
+		t.Errorf("absent trace context decoded non-zero: id=%q trace=%v", old.RequestID, old.Trace)
+	}
+
+	resp := ShardMineResponse{
+		V:           Version,
+		Fingerprint: "00000000deadbeef",
+		Shard:       1, Shards: 3,
+		Phases:    []obs.PhaseStat{{Phase: "mine", Nanos: 1200, Count: 2, Unit: "tasks"}},
+		ElapsedNS: 4500,
+		Timeline: &obs.TimelineSnapshot{
+			Cap:   8,
+			Spans: []obs.SpanRecord{{Phase: "mine", StartNS: 10, DurNS: 900}},
+		},
+	}
+	buf.Reset()
+	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := DecodeShardMineResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.ElapsedNS != 4500 || len(rt.Phases) != 1 || rt.Phases[0].Phase != "mine" {
+		t.Errorf("phase report lost in decode: %+v", rt)
+	}
+	if rt.Timeline == nil || len(rt.Timeline.Spans) != 1 || rt.Timeline.Spans[0].DurNS != 900 {
+		t.Errorf("timeline lost in decode: %+v", rt.Timeline)
+	}
+	// A pre-tracing peer's response still decodes, with no timeline.
+	bare, err := DecodeShardMineResponse(strings.NewReader(
+		`{"v":1,"fingerprint":"00000000000000aa","shard":0,"shards":2,"count":0,"miningMS":1.5,"patterns":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Timeline != nil || bare.ElapsedNS != 0 || bare.Phases != nil {
+		t.Errorf("absent trace fields decoded non-zero: %+v", bare)
 	}
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -37,4 +38,23 @@ var (
 // prefix and a monotonically increasing sequence number.
 func RequestID() string {
 	return fmt.Sprintf("%08x-%d", reqBase, reqSeq.Add(1))
+}
+
+// requestIDKey is the context key request IDs travel under; unexported so
+// only this package's accessors touch it.
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying a request ID, the in-process half of
+// trace-context propagation: a coordinator stamps its mine context so the
+// shard client can forward the ID to peers (X-Request-Id) and journals on
+// both sides become joinable.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request ID from ctx, or "" when none was
+// attached.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }

@@ -107,6 +107,18 @@ func (p Phase) Unit() string {
 // run's total).
 func (p Phase) Nested() bool { return p == PhaseShard || p == PhaseMerge || p == PhasePrune }
 
+// ParsePhase maps a canonical phase name (Phase.String) back to its
+// Phase — the wire direction, used when per-peer phase stats arrive from
+// a remote shard response.
+func ParsePhase(name string) (Phase, bool) {
+	for p := Phase(0); p < NumPhases; p++ {
+		if phaseNames[p] == name {
+			return p, true
+		}
+	}
+	return NumPhases, false
+}
+
 // PhaseNames returns the canonical names of all phases in declaration
 // order (top-level phases first).
 func PhaseNames() []string {

@@ -53,6 +53,10 @@ type Timeline struct {
 	mu      sync.Mutex
 	spans   []SpanRecord
 	dropped int64
+	// peers are grafted shard-peer snapshots (AddPeer in merge.go). They
+	// are bounded by the peer count of a scatter, not by cap: each graft
+	// is itself a capped snapshot.
+	peers []PeerTimeline
 }
 
 // NewTimeline returns an empty timeline whose epoch is now. maxSpans caps
@@ -108,6 +112,10 @@ type TimelineSnapshot struct {
 	Dropped int64 `json:"dropped,omitempty"`
 	// Cap is the retention cap the timeline ran with.
 	Cap int `json:"cap"`
+	// Peers holds grafted shard-peer snapshots in canonical (peer, send
+	// time) order — the per-peer lanes of a fleet-wide flight record.
+	// Empty except on a scatter-gather coordinator's timeline.
+	Peers []PeerTimeline `json:"peers,omitempty"`
 }
 
 // Snapshot copies the retained spans. A nil timeline snapshots empty.
@@ -121,6 +129,7 @@ func (tl *Timeline) Snapshot() TimelineSnapshot {
 		Spans:   append([]SpanRecord(nil), tl.spans...),
 		Dropped: tl.dropped,
 		Cap:     tl.cap,
+		Peers:   canonicalPeers(tl.peers),
 	}
 }
 

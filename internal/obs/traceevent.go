@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 )
 
 // Chrome trace-event export: a recorded run's TimelineSnapshot rendered as
@@ -13,6 +14,10 @@ import (
 // with microsecond timestamps; concurrent spans are spread over synthetic
 // thread lanes by a greedy interval assignment, so a parallel run renders
 // as stacked worker tracks without the recorder having to know worker IDs.
+// A snapshot with grafted peer timelines (a fleet-wide flight record)
+// renders each peer as its own process track: the coordinator is pid 1,
+// peers follow in canonical order, and the shard client's retry/hedge
+// annotations appear as instant events on their peer's track.
 
 // TraceEvent is one entry of the trace-event array — the subset of the
 // Chrome trace-event format the exporter emits and the validator checks.
@@ -20,8 +25,12 @@ type TraceEvent struct {
 	// Name labels the event in the UI (here: the phase, plus the span
 	// label when present).
 	Name string `json:"name"`
-	// Ph is the event type: "X" for complete spans, "M" for metadata.
+	// Ph is the event type: "X" for complete spans, "i" for instant
+	// annotations, "M" for metadata.
 	Ph string `json:"ph"`
+	// S is the instant event's scope ("i" events only): "p" renders the
+	// annotation across its whole process track.
+	S string `json:"s,omitempty"`
 	// Ts is the event start in microseconds since the timeline epoch.
 	Ts float64 `json:"ts"`
 	// Dur is the span duration in microseconds ("X" events only).
@@ -41,23 +50,78 @@ type TraceEvent struct {
 type traceEventFile struct {
 	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
-	// OtherData records exporter context (tool name, dropped span count).
+	// OtherData records exporter context. "droppedSpans" is the total
+	// span count dropped past retention caps, fleet-wide, as a bare
+	// integer (rptrace and the summarizers parse it).
 	OtherData map[string]string `json:"otherData,omitempty"`
 }
 
+// processNameEvent is the metadata event naming a process track.
+func processNameEvent(pid int, name string) TraceEvent {
+	return TraceEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": name},
+	}
+}
+
 // WriteTraceEvents renders a recorded run as Chrome trace-event JSON.
-// name labels the process track (e.g. "rpmine" or a request ID). Spans are
-// laid out on as few thread lanes as their overlaps allow: lane 0 carries
-// the run total and the sequential phases, concurrent mining tasks fan out
-// over further lanes.
+// name labels the coordinator's process track (e.g. "rpmine" or a request
+// ID). Spans are laid out on as few thread lanes as their overlaps allow:
+// lane 0 carries the run total and the sequential phases, concurrent
+// mining tasks fan out over further lanes. Grafted peer snapshots become
+// their own process tracks, peer epochs aligned onto the local clock via
+// AlignOffset; the output is byte-deterministic in the snapshot alone
+// (grafts are canonicalized), whatever order peers answered in.
 func WriteTraceEvents(w io.Writer, name string, snap TimelineSnapshot) error {
 	events := make([]TraceEvent, 0, len(snap.Spans)+2)
-	events = append(events, TraceEvent{
-		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
-		Args: map[string]any{"name": name},
-	})
+	events = append(events, processNameEvent(1, name))
+	events = append(events, spanEvents(snap.Spans, 1, 0)...)
+	dropped := snap.Dropped
 
-	spans := append([]SpanRecord(nil), snap.Spans...)
+	peers := canonicalPeers(snap.Peers)
+	pid := 1
+	for i := 0; i < len(peers); {
+		// One process track per distinct peer; a peer that served several
+		// shard tasks of the scatter contributes all of them to its track.
+		j := i
+		for j < len(peers) && peers[j].Peer == peers[i].Peer {
+			j++
+		}
+		pid++
+		events = append(events, processNameEvent(pid, "peer "+peers[i].Peer))
+		var spans []SpanRecord
+		for k := i; k < j; k++ {
+			pt := &peers[k]
+			off := pt.AlignOffset()
+			for _, s := range pt.Snapshot.Spans {
+				s.StartNS += off
+				spans = append(spans, s)
+			}
+			dropped += pt.Snapshot.Dropped
+			for _, ev := range pt.Events {
+				events = append(events, TraceEvent{
+					Name: ev.Name, Ph: "i", S: "p",
+					Ts: float64(ev.AtNS) / 1e3, Pid: pid, Tid: 0, Cat: "shard",
+				})
+			}
+		}
+		events = append(events, spanEvents(spans, pid, 0)...)
+		i = j
+	}
+
+	f := traceEventFile{TraceEvents: events, DisplayTimeUnit: "ms"}
+	if dropped > 0 {
+		f.OtherData = map[string]string{"droppedSpans": strconv.FormatInt(dropped, 10)}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// spanEvents renders spans as "X" events on pid's thread lanes, numbered
+// from firstLane.
+func spanEvents(records []SpanRecord, pid, firstLane int) []TraceEvent {
+	spans := append([]SpanRecord(nil), records...)
 	sort.SliceStable(spans, func(i, j int) bool {
 		if spans[i].StartNS != spans[j].StartNS {
 			return spans[i].StartNS < spans[j].StartNS
@@ -66,14 +130,15 @@ func WriteTraceEvents(w io.Writer, name string, snap TimelineSnapshot) error {
 	})
 	lanes := assignLanes(spans)
 
+	events := make([]TraceEvent, 0, len(spans))
 	for i, s := range spans {
 		ev := TraceEvent{
 			Name: s.Phase,
 			Ph:   "X",
 			Ts:   float64(s.StartNS) / 1e3,
 			Dur:  float64(s.DurNS) / 1e3,
-			Pid:  1,
-			Tid:  lanes[i],
+			Pid:  pid,
+			Tid:  firstLane + lanes[i],
 			Cat:  s.Phase,
 		}
 		if s.Label != "" {
@@ -88,16 +153,7 @@ func WriteTraceEvents(w io.Writer, name string, snap TimelineSnapshot) error {
 		}
 		events = append(events, ev)
 	}
-
-	f := traceEventFile{TraceEvents: events, DisplayTimeUnit: "ms"}
-	if snap.Dropped > 0 {
-		f.OtherData = map[string]string{
-			"droppedSpans": fmt.Sprintf("%d (retention cap %d; aggregates still include them)", snap.Dropped, snap.Cap),
-		}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(f)
+	return events
 }
 
 // assignLanes spreads spans (sorted by start, enclosing-first) over thread
@@ -158,6 +214,11 @@ func ValidateTraceEvents(r io.Reader) (spans int, err error) {
 		switch ev.Ph {
 		case "M":
 			// Metadata events carry no timing.
+		case "i":
+			// Instant annotations (retry/hedge marks on peer tracks).
+			if ev.Ts < 0 {
+				return 0, fmt.Errorf("trace-event JSON: event %d (%q) has negative timing ts=%v", i, ev.Name, ev.Ts)
+			}
 		case "X":
 			if ev.Ts < 0 || ev.Dur < 0 {
 				return 0, fmt.Errorf("trace-event JSON: event %d (%q) has negative timing ts=%v dur=%v", i, ev.Name, ev.Ts, ev.Dur)

@@ -1,8 +1,9 @@
 // The request journal is rpserved's flight recorder: a bounded in-memory
-// ring of the last N /v1/mine requests — every outcome, not just successes
-// — plus a long-term bucket that retains the slowest requests after the
-// ring has churned past them (the x/net/trace idea, stdlib-only). Entries
-// are immutable once added, so the /debug/requests handlers render
+// ring of the last N mining requests (/v1/mine, and /v1/shard/mine tasks
+// under their coordinator's propagated ID) — every outcome, not just
+// successes — plus a long-term bucket that retains the slowest requests
+// after the ring has churned past them (the x/net/trace idea, stdlib-only).
+// Entries are immutable once added, so the /debug/requests handlers render
 // snapshots without copying anything but the slice headers.
 package serve
 

@@ -280,6 +280,7 @@ func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	mux.HandleFunc("DELETE /v1/datasets/{fp}", s.handleDatasetDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/fleet/stats", s.handleFleetStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -604,6 +605,10 @@ func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key 
 		mctx, cancel = context.WithTimeout(ctx, s.cfg.MineTimeout)
 		defer cancel()
 	}
+	// Stamp the request's ID on the mining context: in peers mode the shard
+	// client forwards it to every peer (request body and X-Request-Id), so
+	// the coordinator's and the peers' journals join on one ID.
+	mctx = obs.WithRequestID(mctx, rec.id)
 
 	// Each executed mine gets its own trace so the per-phase histograms
 	// see per-run attributions, not a shared running total. With the
@@ -686,53 +691,103 @@ func (s *Server) writeMineResponse(w http.ResponseWriter, ent *dbEntry, req *api
 // mined under the same admission control and drain accounting as a full
 // mine, and nothing is cached — the coordinator owns the merged result's
 // lifecycle.
+//
+// Trace context flows both ways: the task is journalled under the
+// coordinator's propagated request ID (X-Request-Id header, body fallback)
+// so /debug/requests joins across the fleet, and when the task asks for a
+// trace the peer records its run's span timeline — admission wait included —
+// and returns it with its per-phase report and handling time for the
+// coordinator to graft.
 func (s *Server) handleShardMine(w http.ResponseWriter, r *http.Request) {
+	start := now()
 	s.metrics.shardRequests.Add(1)
+	rec := &accessRecord{id: r.Header.Get("X-Request-Id"), outcome: "shard-ok", status: http.StatusOK}
+	defer func() {
+		if rec.id == "" {
+			rec.id = obs.RequestID()
+		}
+		elapsed := time.Since(start)
+		s.cfg.Logger.Info("shard-mine",
+			"id", rec.id, "db", rec.db, "fp", rec.fp, "opts", rec.opts,
+			"outcome", rec.outcome, "status", rec.status,
+			"patterns", rec.patterns,
+			"queueMS", float64(rec.queueWait)/1e6,
+			"mineMS", float64(rec.mineTime)/1e6,
+			"elapsedMS", float64(elapsed)/1e6)
+		s.journalRecord(rec, start, elapsed)
+	}()
 	body := r.Body
 	if s.cfg.MaxBody > 0 {
 		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	}
 	req, err := api.DecodeShardMineRequest(body)
 	if err != nil {
+		rec.deny("bad-request", http.StatusBadRequest)
 		s.fail(w, http.StatusBadRequest, "decoding shard request: %v", err)
 		return
 	}
+	if rec.id == "" {
+		rec.id = req.RequestID
+	}
 	spec := core.ShardSpec{Index: req.Shard, Count: req.Shards}
 	if err := spec.Validate(); err != nil {
+		rec.deny("bad-request", http.StatusBadRequest)
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ent, status, err := s.resolveShardTarget(req)
 	if err != nil {
+		rec.deny("unknown-db", status)
 		s.fail(w, status, "%v", err)
 		return
 	}
+	rec.db, rec.fp = ent.name, fmt.Sprintf("%016x", ent.fp)
 	o, err := req.ToCoreOptions(ent.db.Len())
 	if err != nil {
+		rec.deny("invalid-options", http.StatusBadRequest)
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if o.Parallelism > s.cfg.MaxParallelism {
 		o.Parallelism = s.cfg.MaxParallelism
 	}
+	rec.opts = fmt.Sprintf("%s,shard=%d/%d", optionsDigest(o), req.Shard, req.Shards)
+
+	// The trace (and, when requested, the timeline) is created before
+	// admission so the peer's flight record starts at request arrival and
+	// the slot wait shows up as its own span, exactly what the coordinator's
+	// clock alignment expects ElapsedNS to cover.
+	o.Trace = obs.NewTrace()
+	var tl *obs.Timeline
+	if req.Trace && s.cfg.TimelineSpans >= 0 {
+		tl = obs.NewTimeline(s.cfg.TimelineSpans)
+		o.Trace.AttachTimeline(tl)
+	}
 
 	if err := s.beginMine(); err != nil {
+		rec.deny("draining", http.StatusServiceUnavailable)
 		s.writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	defer s.endMine()
+	queued := now()
 	if err := s.adm.acquire(r.Context()); err != nil {
+		rec.queueWait = time.Since(queued)
 		if errors.Is(err, errShed) {
 			s.metrics.shed.Add(1)
+			rec.deny("shed", http.StatusTooManyRequests)
 			w.Header().Set("Retry-After", "1")
 			s.writeError(w, http.StatusTooManyRequests, err.Error())
 			return
 		}
 		s.metrics.cancelled.Add(1)
+		rec.deny("cancelled", statusClientClosedRequest)
 		s.writeError(w, statusClientClosedRequest, "client cancelled request")
 		return
 	}
 	defer s.adm.release()
+	rec.queueWait = time.Since(queued)
+	tl.RecordSpan("queue", "", queued, rec.queueWait)
 
 	mctx := r.Context()
 	if s.cfg.MineTimeout > 0 {
@@ -746,27 +801,42 @@ func (s *Server) handleShardMine(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case r.Context().Err() != nil:
 			s.metrics.cancelled.Add(1)
+			rec.deny("cancelled", statusClientClosedRequest)
 			s.writeError(w, statusClientClosedRequest, "client cancelled request")
 		case errors.Is(err, context.DeadlineExceeded):
 			s.metrics.timeouts.Add(1)
+			rec.deny("timeout", http.StatusServiceUnavailable)
 			s.writeError(w, http.StatusServiceUnavailable,
 				fmt.Sprintf("shard mine exceeded the server-side time limit of %v", s.cfg.MineTimeout))
 		default:
+			rec.deny("error", http.StatusInternalServerError)
 			s.fail(w, http.StatusInternalServerError, "shard mining failed: %v", err)
 		}
 		return
 	}
 	s.metrics.shardMined.Add(1)
-	s.writeJSON(w, http.StatusOK, api.ShardMineResponse{
+	rec.mineTime = time.Since(begin)
+	rec.patterns = len(res.Patterns)
+	rec.report = o.Trace.Report()
+	resp := api.ShardMineResponse{
 		V:           api.Version,
 		Fingerprint: fmt.Sprintf("%016x", ent.fp),
 		Shard:       req.Shard,
 		Shards:      req.Shards,
 		Count:       len(res.Patterns),
-		MiningMS:    float64(time.Since(begin)) / 1e6,
+		MiningMS:    float64(rec.mineTime) / 1e6,
 		Patterns:    api.PatternsFromCore(ent.db, res.Patterns),
 		Stats:       &res.Stats,
-	})
+		Phases:      activePhases(rec.report),
+	}
+	if tl != nil {
+		rec.timeline = tl.Snapshot()
+		resp.Timeline = &rec.timeline
+		// ElapsedNS is stamped as late as possible: it is the peer-handling
+		// width the coordinator centers inside its send→receive window.
+		resp.ElapsedNS = int64(time.Since(start))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // resolveShardTarget resolves a shard task's database. Fingerprint is the
@@ -1000,6 +1070,46 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.statsPayload())
 }
 
+// fleetPeerStats is one peer's section of /v1/fleet/stats: its /v1/stats
+// body verbatim, or the error the fetch failed with.
+type fleetPeerStats struct {
+	URL   string          `json:"url"`
+	Stats json.RawMessage `json:"stats,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// fleetStatsResponse is the JSON body of GET /v1/fleet/stats.
+type fleetStatsResponse struct {
+	Coordinator statsResponse    `json:"coordinator"`
+	Peers       []fleetPeerStats `json:"peers"`
+}
+
+// handleFleetStats is the coordinator's fleet-wide view: its own stats
+// payload plus every peer's /v1/stats fetched concurrently, in
+// deterministic (sorted-URL) order. A peer being down degrades to an error
+// string in that peer's entry, never to a failed response — the endpoint
+// exists precisely for looking at unhealthy fleets. 404 on non-coordinators.
+func (s *Server) handleFleetStats(w http.ResponseWriter, r *http.Request) {
+	if s.shardClient == nil {
+		s.writeError(w, http.StatusNotFound, "serve: not a shard coordinator (no peers configured)")
+		return
+	}
+	bodies := s.shardClient.FetchStats(r.Context())
+	resp := fleetStatsResponse{
+		Coordinator: s.statsPayload(),
+		Peers:       make([]fleetPeerStats, len(bodies)),
+	}
+	for i, b := range bodies {
+		resp.Peers[i].URL = b.URL
+		if b.Err != nil {
+			resp.Peers[i].Error = b.Err.Error()
+			continue
+		}
+		resp.Peers[i].Stats = json.RawMessage(b.Body)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
 // handleMetrics renders the Prometheus text exposition: the counter and
 // histogram families owned by metrics, then the instantaneous gauges that
 // live on the Server.
@@ -1038,6 +1148,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			peerSamples(func(ps shard.PeerStats) int64 { return ps.Hedges }))
 		p.CounterVec("rpserved_shard_peer_hedge_wins_total", "Hedged shard requests that answered first, per peer.",
 			peerSamples(func(ps shard.PeerStats) int64 { return ps.HedgeWins }))
+		// Per-peer per-phase wall time, as reported by the peers themselves
+		// in their shard responses: where fleet mining time actually goes.
+		// Phase iteration follows the canonical phase order and peers are
+		// already URL-sorted, so exposition is deterministic.
+		var phaseSamples []obs.LabeledValue
+		for _, ps := range peerStats {
+			for _, phase := range obs.PhaseNames() {
+				if sec, ok := ps.PhaseSeconds[phase]; ok {
+					phaseSamples = append(phaseSamples, obs.LabeledValue{
+						Labels: map[string]string{"peer": ps.URL, "phase": phase},
+						Value:  sec,
+					})
+				}
+			}
+		}
+		p.CounterVec("rpserved_shard_peer_phase_seconds",
+			"Peer-reported wall time per algorithm phase, summed over this coordinator's successful shard tasks.",
+			phaseSamples)
 	}
 	// Go runtime health: the gauges a dashboard needs to tell a leaking or
 	// GC-bound process from a loaded one. Names follow the conventional

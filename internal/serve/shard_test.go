@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -96,6 +97,80 @@ func TestShardMineEndpoint(t *testing.T) {
 	}
 	if got := metric(t, stats, "shardMined"); got != 3 {
 		t.Errorf("shardMined = %v, want 3", got)
+	}
+}
+
+// TestShardMineTraceOptIn pins the peer half of the trace-context
+// contract: a task that asks for tracing gets the recorded timeline and
+// handling time back and is journalled under the coordinator's propagated
+// ID; a task that doesn't stays exactly on the pre-tracing wire shape.
+func TestShardMineTraceOptIn(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, nil)
+	fp := fmt.Sprintf("%016x", testDB().Fingerprint())
+
+	// Untraced: phases travel (they feed the coordinator's metrics), but
+	// no timeline and no handling time.
+	status, m := postShard(t, hs.URL,
+		fmt.Sprintf(`{"v":1,"fingerprint":%q,"per":4,"minPS":3,"minRec":1,"shard":0,"shards":2}`, fp))
+	if status != http.StatusOK {
+		t.Fatalf("untraced shard task: status %d, body %v", status, m)
+	}
+	if m["timeline"] != nil || m["elapsedNS"] != nil {
+		t.Errorf("untraced response carries trace fields: timeline=%v elapsedNS=%v", m["timeline"], m["elapsedNS"])
+	}
+	if phases, _ := m["phases"].([]any); len(phases) == 0 {
+		t.Error("untraced response lost the phase report")
+	}
+
+	// Traced, under a propagated coordinator ID.
+	status, m = postShard(t, hs.URL,
+		fmt.Sprintf(`{"v":1,"fingerprint":%q,"per":4,"minPS":3,"minRec":1,"shard":1,"shards":2,"requestID":"coord-7","trace":true}`, fp))
+	if status != http.StatusOK {
+		t.Fatalf("traced shard task: status %d, body %v", status, m)
+	}
+	tl, _ := m["timeline"].(map[string]any)
+	if tl == nil {
+		t.Fatal("traced response has no timeline")
+	}
+	if spans, _ := tl["spans"].([]any); len(spans) == 0 {
+		t.Error("returned timeline retained no spans")
+	}
+	if ns, _ := m["elapsedNS"].(float64); ns <= 0 {
+		t.Errorf("elapsedNS = %v, want > 0", m["elapsedNS"])
+	}
+
+	// The peer's journal joins on the propagated ID.
+	_, body := getBody(t, hs.URL+"/debug/requests?format=json")
+	var jr struct {
+		Recent []*RequestEntry `json:"recent"`
+	}
+	decodeJSON(t, body, &jr)
+	byID := map[string]*RequestEntry{}
+	for _, e := range jr.Recent {
+		byID[e.ID] = e
+	}
+	e := byID["coord-7"]
+	if e == nil {
+		t.Fatalf("journal has no entry under the propagated ID: %v", slowIDs(jr.Recent))
+	}
+	if e.Outcome != "shard-ok" || !strings.Contains(e.Opts, "shard=1/2") {
+		t.Errorf("journal entry = outcome %q opts %q, want shard-ok with shard=1/2", e.Outcome, e.Opts)
+	}
+	if !e.HasTrace {
+		t.Error("traced shard task journalled without a downloadable trace")
+	}
+	// The untraced task minted its own ID and is journalled too.
+	found := false
+	for _, e := range jr.Recent {
+		if e.ID != "coord-7" && strings.Contains(e.Opts, "shard=0/2") {
+			found = true
+			if e.HasTrace {
+				t.Error("untraced shard task retained a timeline")
+			}
+		}
+	}
+	if !found {
+		t.Error("untraced shard task missing from the journal")
 	}
 }
 
@@ -227,5 +302,175 @@ func TestPeersModeCoordinator(t *testing.T) {
 	// shard traffic.
 	if status, m := postMine(t, chs.URL, body); status != http.StatusOK || m["cached"] != true {
 		t.Errorf("repeat scattered mine not cached: status %d, cached=%v", status, m["cached"])
+	}
+}
+
+// TestFleetTraceAndStats is the acceptance test for fleet-wide tracing: a
+// mine scattered over two real peer servers leaves ONE flight record on
+// the coordinator — per-peer Perfetto lanes with the peers' own phase
+// spans, joinable journals on both sides of every shard RPC, the per-peer
+// per-phase metric, and the fleet stats fan-out.
+func TestFleetTraceAndStats(t *testing.T) {
+	db := testDB()
+	newPeer := func() *httptest.Server {
+		// A deep queue so 16 concurrent tasks admit rather than shed
+		// (sheds would just be retried, adding noise to the journals).
+		s, err := NewServer(Config{MaxQueue: 64}, map[string]*tsdb.DB{"whatever": db})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(s.Handler())
+		t.Cleanup(hs.Close)
+		return hs
+	}
+	p1, p2 := newPeer(), newPeer()
+
+	// 16 tasks over 2 peers: the consistent-hash ring homes every task
+	// independently, so both peers end up serving some.
+	coord, err := NewServer(Config{Peers: []string{p1.URL, p2.URL}, Shards: 16},
+		map[string]*tsdb.DB{"shop": db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := httptest.NewServer(coord.Handler())
+	t.Cleanup(chs.Close)
+
+	if status, m := postMine(t, chs.URL, `{"db":"shop","per":4,"minPS":3,"minRec":1}`); status != http.StatusOK {
+		t.Fatalf("scattered mine: status %d, body %v", status, m)
+	}
+
+	// The coordinator journalled the request with a downloadable trace.
+	_, body := getBody(t, chs.URL+"/debug/requests?format=json")
+	var jr struct {
+		Recent []*RequestEntry `json:"recent"`
+	}
+	decodeJSON(t, body, &jr)
+	if len(jr.Recent) != 1 || !jr.Recent[0].HasTrace {
+		t.Fatalf("coordinator journal = %+v, want one traced entry", jr.Recent)
+	}
+	reqID := jr.Recent[0].ID
+
+	// The merged trace validates and carries one process track per peer.
+	resp, trace := getBody(t, chs.URL+"/debug/requests/trace?id="+reqID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace download: status %d body %s", resp.StatusCode, trace)
+	}
+	if _, err := obs.ValidateTraceEvents(strings.NewReader(trace)); err != nil {
+		t.Fatalf("merged fleet trace invalid: %v", err)
+	}
+	var f struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	decodeJSON(t, trace, &f)
+	names := map[int]string{}
+	spanNames := map[int]map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				names[ev.Pid], _ = ev.Args["name"].(string)
+			}
+		case "X":
+			if spanNames[ev.Pid] == nil {
+				spanNames[ev.Pid] = map[string]bool{}
+			}
+			spanNames[ev.Pid][ev.Name] = true
+		}
+	}
+	hasPrefix := func(set map[string]bool, prefix string) bool {
+		for n := range set {
+			if strings.HasPrefix(n, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	if names[1] == "" || strings.HasPrefix(names[1], "peer ") {
+		t.Errorf("pid 1 named %q, want the coordinator's own track", names[1])
+	}
+	// The coordinator lane keeps its per-task dispatch spans ("shard
+	// shard=i/n"), one per scattered task.
+	if !hasPrefix(spanNames[1], "shard") {
+		t.Errorf("coordinator lane lacks its shard dispatch spans: %v", spanNames[1])
+	}
+	lanesFor := map[string]bool{}
+	for pid, name := range names {
+		if pid == 1 {
+			continue
+		}
+		lanesFor[name] = true
+		// Every peer lane carries the peer's own run: its admission wait
+		// and its whole-task span, realigned onto the coordinator's clock.
+		// (Per-item "mine" spans only appear on shards that drew items —
+		// with 16 shards over this tiny dictionary most mine nothing.)
+		if !spanNames[pid]["queue"] || !spanNames[pid]["total"] {
+			t.Errorf("track %q lacks the peer's queue/total spans: %v", name, spanNames[pid])
+		}
+		if !hasPrefix(spanNames[pid], "mine") && !spanNames[pid]["scan"] {
+			t.Errorf("track %q carries no phase spans at all: %v", name, spanNames[pid])
+		}
+	}
+	for _, ps := range []*httptest.Server{p1, p2} {
+		if !lanesFor["peer "+ps.URL] {
+			t.Errorf("merged trace has no lane for peer %s (have %v)", ps.URL, names)
+		}
+	}
+
+	// Both peers journalled their shard tasks under the coordinator's ID.
+	for i, ps := range []*httptest.Server{p1, p2} {
+		_, pbody := getBody(t, ps.URL+"/debug/requests?format=json")
+		var pjr struct {
+			Recent []*RequestEntry `json:"recent"`
+		}
+		decodeJSON(t, pbody, &pjr)
+		served := 0
+		for _, pe := range pjr.Recent {
+			if pe.ID == reqID && pe.Outcome == "shard-ok" {
+				served++
+			}
+		}
+		// (Shed-and-retried attempts journal under the same ID too; at
+		// least one task must have been served to completion here.)
+		if served == 0 {
+			t.Errorf("peer %d journal has no served tasks under coordinator ID %s", i+1, reqID)
+		}
+	}
+
+	// The peers' phase reports surface as the per-peer per-phase metric.
+	resp, prom := getBody(t, chs.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(prom, "rpserved_shard_peer_phase_seconds{peer=") {
+		t.Error("metrics output lacks rpserved_shard_peer_phase_seconds")
+	}
+
+	// The fleet stats fan-out reaches both peers.
+	resp, fleet := getBody(t, chs.URL+"/v1/fleet/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet stats: status %d body %s", resp.StatusCode, fleet)
+	}
+	var fs struct {
+		Coordinator map[string]any `json:"coordinator"`
+		Peers       []struct {
+			URL   string          `json:"url"`
+			Stats json.RawMessage `json:"stats"`
+			Error string          `json:"error"`
+		} `json:"peers"`
+	}
+	decodeJSON(t, fleet, &fs)
+	if fs.Coordinator == nil || len(fs.Peers) != 2 {
+		t.Fatalf("fleet stats shape: coordinator=%v, %d peers", fs.Coordinator != nil, len(fs.Peers))
+	}
+	for _, p := range fs.Peers {
+		if p.Error != "" || len(p.Stats) == 0 {
+			t.Errorf("peer %s fleet entry: error=%q stats bytes=%d", p.URL, p.Error, len(p.Stats))
+		}
+	}
+
+	// A single-box server has no fleet to report on.
+	_, shs := newTestServer(t, Config{}, nil)
+	if resp, _ := getBody(t, shs.URL+"/v1/fleet/stats"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("single-box fleet stats: status %d, want 404", resp.StatusCode)
 	}
 }

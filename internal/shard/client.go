@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"slices"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/recurpat/rp/internal/api"
 	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
@@ -80,6 +82,10 @@ type peerCounters struct {
 	retries   atomic.Int64
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64
+	// phaseNanos accumulates the peer-reported per-phase wall time of
+	// successful tasks (ShardMineResponse.Phases), indexed by obs.Phase —
+	// the raw material of rpserved_shard_peer_phase_seconds.
+	phaseNanos [obs.NumPhases]atomic.Int64
 }
 
 // PeerStats is a point-in-time copy of one peer's counters.
@@ -94,6 +100,10 @@ type PeerStats struct {
 	Retries   int64 `json:"retries"`
 	Hedges    int64 `json:"hedges"`
 	HedgeWins int64 `json:"hedgeWins"`
+	// PhaseSeconds is the peer-reported wall time of each algorithm phase,
+	// summed over this peer's successful tasks, keyed by canonical phase
+	// name. Only phases that observed time appear.
+	PhaseSeconds map[string]float64 `json:"phaseSeconds,omitempty"`
 }
 
 // Client executes shard tasks on remote rpserved peers over HTTP: POST
@@ -152,8 +162,49 @@ func (c *Client) Stats() []PeerStats {
 			Hedges:    p.hedges.Load(),
 			HedgeWins: p.hedgeWins.Load(),
 		}
+		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+			if n := p.phaseNanos[ph].Load(); n > 0 {
+				if out[i].PhaseSeconds == nil {
+					out[i].PhaseSeconds = make(map[string]float64)
+				}
+				out[i].PhaseSeconds[ph.String()] = float64(n) / 1e9
+			}
+		}
 	}
 	return out
+}
+
+// taskEvents collects the client's per-task annotations — retries, hedges,
+// failed attempts — stamped on the coordinator timeline's clock, so the
+// winning peer's graft can carry them as instant events. A nil receiver is
+// inert (untraced tasks record nothing); the mutex covers the hedged case
+// where two attempts race.
+type taskEvents struct {
+	tl *obs.Timeline
+
+	mu     sync.Mutex
+	events []obs.PeerEvent
+}
+
+func (te *taskEvents) add(name string) {
+	if te == nil {
+		return
+	}
+	at := te.tl.Elapsed(obs.Now())
+	te.mu.Lock()
+	te.events = append(te.events, obs.PeerEvent{Name: name, AtNS: at})
+	te.mu.Unlock()
+}
+
+// take copies the events recorded so far; a hedged loser finishing late may
+// add more afterwards, which the winner's copy correctly excludes.
+func (te *taskEvents) take() []obs.PeerEvent {
+	if te == nil {
+		return nil
+	}
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	return slices.Clone(te.events)
 }
 
 // Execute runs one shard task remotely: the task's failover sequence comes
@@ -162,15 +213,30 @@ func (c *Client) Stats() []PeerStats {
 // re-dispatches. A context error stops retrying immediately — the caller
 // cancelled or the scatter was failed fast; backoff waits also abort on
 // ctx.
+//
+// Trace context propagates both ways: a request ID on ctx
+// (obs.WithRequestID) rides in the body and the X-Request-Id header so the
+// peer journals the task under the coordinator's ID, and when the options
+// carry a timeline the peer is asked to record and return its own, which
+// Execute wraps — clock references, retry/hedge/failover annotations — into
+// Partial.Remote for the coordinator to graft.
 func (c *Client) Execute(ctx context.Context, db *tsdb.DB, o core.Options, t Task) (*Partial, error) {
+	reqID := obs.RequestIDFrom(ctx)
+	tl := o.Trace.Timeline()
 	body, err := json.Marshal(api.ShardMineRequest{
 		MineRequest: api.FromCoreOptions(o),
 		Shard:       t.Index,
 		Shards:      t.Count,
 		Fingerprint: fmt.Sprintf("%016x", t.FP),
+		RequestID:   reqID,
+		Trace:       tl != nil,
 	})
 	if err != nil {
 		return nil, err
+	}
+	var te *taskEvents
+	if tl != nil {
+		te = &taskEvents{tl: tl}
 	}
 	seq := c.ring.sequence(t.key())
 	var lastErr error
@@ -182,12 +248,14 @@ func (c *Client) Execute(ctx context.Context, db *tsdb.DB, o core.Options, t Tas
 			return nil, err
 		}
 		if attempt > 0 {
-			c.peers[seq[attempt%len(seq)]].retries.Add(1)
+			peer := seq[attempt%len(seq)]
+			c.peers[peer].retries.Add(1)
+			te.add(fmt.Sprintf("retry %d -> %s", attempt, c.peers[peer].url))
 			if !sleep(ctx, c.cfg.Backoff<<(attempt-1)) {
 				return nil, lastErr
 			}
 		}
-		p, err := c.attempt(ctx, db, body, t, seq, attempt)
+		p, err := c.attempt(ctx, db, body, t, seq, attempt, reqID, te)
 		if err == nil {
 			return p, nil
 		}
@@ -225,10 +293,10 @@ type attemptOutcome struct {
 // request goes to the attempt's peer in the failover sequence; when
 // hedging is on and the primary is quiet past the hedge delay, a duplicate
 // fires at the next peer and the first success wins, cancelling the loser.
-func (c *Client) attempt(ctx context.Context, db *tsdb.DB, body []byte, t Task, seq []int, attempt int) (*Partial, error) {
+func (c *Client) attempt(ctx context.Context, db *tsdb.DB, body []byte, t Task, seq []int, attempt int, reqID string, te *taskEvents) (*Partial, error) {
 	primary := seq[attempt%len(seq)]
 	if c.cfg.Hedge <= 0 || len(seq) < 2 {
-		return c.post(ctx, db, body, t, primary)
+		return c.post(ctx, db, body, t, primary, reqID, te)
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -237,7 +305,7 @@ func (c *Client) attempt(ctx context.Context, db *tsdb.DB, body []byte, t Task, 
 	results := make(chan attemptOutcome, 2)
 	post := func(peer int, hedged bool) {
 		go func() {
-			p, err := c.post(actx, db, body, t, peer)
+			p, err := c.post(actx, db, body, t, peer, reqID, te)
 			results <- attemptOutcome{p: p, err: err, peer: peer, hedged: hedged}
 		}()
 	}
@@ -265,6 +333,7 @@ func (c *Client) attempt(ctx context.Context, db *tsdb.DB, body []byte, t Task, 
 		case <-hedgeTimer.C:
 			hedge := seq[(attempt+1)%len(seq)]
 			c.peers[hedge].hedges.Add(1)
+			te.add("hedge -> " + c.peers[hedge].url)
 			post(hedge, true)
 			inFlight++
 		case <-ctx.Done():
@@ -276,9 +345,16 @@ func (c *Client) attempt(ctx context.Context, db *tsdb.DB, body []byte, t Task, 
 // post performs one POST /v1/shard/mine against one peer, verifying the
 // response's version, fingerprint and task identity, and mapping the wire
 // patterns back to item IDs against the coordinator's copy of the
-// database.
-func (c *Client) post(ctx context.Context, db *tsdb.DB, body []byte, t Task, peer int) (*Partial, error) {
+// database. On a traced task it also stamps the exchange's send/receive
+// instants and wraps a returned peer timeline into Partial.Remote.
+func (c *Client) post(ctx context.Context, db *tsdb.DB, body []byte, t Task, peer int, reqID string, te *taskEvents) (p *Partial, err error) {
 	pc := c.peers[peer]
+	defer func() {
+		if err != nil {
+			pc.failure.Add(1)
+			te.add("fail " + pc.url)
+		}
+	}()
 	pctx := ctx
 	if c.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -287,49 +363,116 @@ func (c *Client) post(ctx context.Context, db *tsdb.DB, body []byte, t Task, pee
 	}
 	req, err := http.NewRequestWithContext(pctx, http.MethodPost, pc.url+"/v1/shard/mine", bytes.NewReader(body))
 	if err != nil {
-		pc.failure.Add(1)
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set("X-Request-Id", reqID)
+	}
+	send := obs.Now()
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		pc.failure.Add(1)
 		return nil, fmt.Errorf("shard: peer %s: %w", pc.url, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		pc.failure.Add(1)
 		return nil, fmt.Errorf("shard: peer %s: %s: %s", pc.url, resp.Status, errorBody(resp.Body))
 	}
 	sr, err := api.DecodeShardMineResponse(resp.Body)
 	if err != nil {
-		pc.failure.Add(1)
 		return nil, fmt.Errorf("shard: peer %s: decoding response: %w", pc.url, err)
 	}
+	// The body is fully read here, so recv closes the network window the
+	// clock alignment centers the peer's handling time in.
+	recv := obs.Now()
 	if want := fmt.Sprintf("%016x", t.FP); sr.Fingerprint != want {
-		pc.failure.Add(1)
 		return nil, fmt.Errorf("shard: peer %s mined fingerprint %s, want %s", pc.url, sr.Fingerprint, want)
 	}
 	if sr.Shard != t.Index || sr.Shards != t.Count {
-		pc.failure.Add(1)
 		return nil, fmt.Errorf("shard: peer %s answered task %d/%d, want %d/%d",
 			pc.url, sr.Shard, sr.Shards, t.Index, t.Count)
 	}
 	patterns, err := api.PatternsToCore(db, sr.Patterns)
 	if err != nil {
-		pc.failure.Add(1)
 		return nil, fmt.Errorf("shard: peer %s: %w", pc.url, err)
 	}
 	pc.success.Add(1)
-	p := &Partial{
+	for _, st := range sr.Phases {
+		if ph, ok := obs.ParsePhase(st.Phase); ok {
+			pc.phaseNanos[ph].Add(st.Nanos)
+		}
+	}
+	p = &Partial{
 		Task:     t,
 		Patterns: patterns,
 		MineTime: time.Duration(sr.MiningMS * 1e6),
+		Phases:   sr.Phases,
 	}
 	if sr.Stats != nil {
 		p.Stats = *sr.Stats
 	}
+	if te != nil && sr.Timeline != nil {
+		p.Remote = &obs.PeerTimeline{
+			Peer:      pc.url,
+			SendNS:    te.tl.Elapsed(send),
+			RecvNS:    te.tl.Elapsed(recv),
+			ElapsedNS: sr.ElapsedNS,
+			Snapshot:  *sr.Timeline,
+			Events:    te.take(),
+		}
+	}
 	return p, nil
+}
+
+// PeerStatsBody is one peer's raw GET /v1/stats response (or the error the
+// fetch failed with), as gathered by FetchStats.
+type PeerStatsBody struct {
+	URL  string
+	Body []byte
+	Err  error
+}
+
+// FetchStats GETs every peer's /v1/stats concurrently and returns the raw
+// bodies in the client's deterministic (sorted-URL) peer order — the fan-out
+// half of the coordinator's /v1/fleet/stats. Per-peer failures land in the
+// entry's Err; the slice always has one entry per peer.
+func (c *Client) FetchStats(ctx context.Context) []PeerStatsBody {
+	out := make([]PeerStatsBody, len(c.peers))
+	var wg sync.WaitGroup
+	for i, p := range c.peers {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			out[i] = c.fetchStats(ctx, url)
+		}(i, p.url)
+	}
+	wg.Wait()
+	return out
+}
+
+func (c *Client) fetchStats(ctx context.Context, url string) PeerStatsBody {
+	if c.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/stats", nil)
+	if err != nil {
+		return PeerStatsBody{URL: url, Err: err}
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return PeerStatsBody{URL: url, Err: fmt.Errorf("peer %s: %w", url, err)}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return PeerStatsBody{URL: url, Err: fmt.Errorf("peer %s: %s: %s", url, resp.Status, errorBody(resp.Body))}
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return PeerStatsBody{URL: url, Err: fmt.Errorf("peer %s: %w", url, err)}
+	}
+	return PeerStatsBody{URL: url, Body: b}
 }
 
 // errorBody extracts the message of an api.ErrorResponse body, falling

@@ -7,25 +7,34 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/recurpat/rp/internal/api"
 	"github.com/recurpat/rp/internal/core"
+	"github.com/recurpat/rp/internal/obs"
 	"github.com/recurpat/rp/internal/tsdb"
 )
 
 // stubPeer is an httptest peer speaking the /v1/shard/mine wire protocol
 // over api + core directly — the protocol contract the real rpserved
 // handler also implements. failFirst makes the first N requests 500 to
-// exercise retries.
+// exercise retries. It honours the trace-context fields: the propagated
+// request ID and trace flag are captured for assertions, and a traced task
+// gets a recorded timeline back.
 type stubPeer struct {
 	db        *tsdb.DB
 	requests  atomic.Int64
 	failFirst int64
 	delay     time.Duration
 	srv       *httptest.Server
+
+	mu         sync.Mutex
+	lastHeader string // X-Request-Id of the last shard request
+	lastBodyID string
+	lastTrace  bool
 }
 
 func newStubPeer(t *testing.T, db *tsdb.DB) *stubPeer {
@@ -37,6 +46,11 @@ func newStubPeer(t *testing.T, db *tsdb.DB) *stubPeer {
 }
 
 func (p *stubPeer) handle(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && r.URL.Path == "/v1/stats" {
+		_ = json.NewEncoder(w).Encode(map[string]any{"draining": false, "peer": p.srv.URL})
+		return
+	}
+	start := time.Now()
 	n := p.requests.Add(1)
 	if p.delay > 0 {
 		select {
@@ -61,11 +75,22 @@ func (p *stubPeer) handle(w http.ResponseWriter, r *http.Request) {
 		_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: "no dataset with fingerprint " + req.Fingerprint})
 		return
 	}
+	p.mu.Lock()
+	p.lastHeader = r.Header.Get("X-Request-Id")
+	p.lastBodyID = req.RequestID
+	p.lastTrace = req.Trace
+	p.mu.Unlock()
 	o, err := req.ToCoreOptions(p.db.Len())
 	if err != nil {
 		w.WriteHeader(http.StatusBadRequest)
 		_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
 		return
+	}
+	o.Trace = obs.NewTrace()
+	var tl *obs.Timeline
+	if req.Trace {
+		tl = obs.NewTimeline(64)
+		o.Trace.AttachTimeline(tl)
 	}
 	res, err := core.MineShardContext(r.Context(), p.db, o,
 		core.ShardSpec{Index: req.Shard, Count: req.Shards})
@@ -74,7 +99,7 @@ func (p *stubPeer) handle(w http.ResponseWriter, r *http.Request) {
 		_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
 		return
 	}
-	_ = json.NewEncoder(w).Encode(api.ShardMineResponse{
+	resp := api.ShardMineResponse{
 		V:           api.Version,
 		Fingerprint: req.Fingerprint,
 		Shard:       req.Shard,
@@ -82,7 +107,18 @@ func (p *stubPeer) handle(w http.ResponseWriter, r *http.Request) {
 		Count:       len(res.Patterns),
 		Patterns:    api.PatternsFromCore(p.db, res.Patterns),
 		Stats:       &res.Stats,
-	})
+	}
+	for _, st := range o.Trace.Report().Phases {
+		if st.Nanos > 0 || st.Count > 0 {
+			resp.Phases = append(resp.Phases, st)
+		}
+	}
+	if tl != nil {
+		snap := tl.Snapshot()
+		resp.Timeline = &snap
+		resp.ElapsedNS = int64(time.Since(start))
+	}
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 func TestNewClientValidation(t *testing.T) {
@@ -247,6 +283,119 @@ func TestClientHedging(t *testing.T) {
 	}
 	if hedges == 0 {
 		t.Error("hedge timer never fired despite slow peers")
+	}
+}
+
+// TestClientPropagatesTraceContext drives a traced task through the client
+// and checks trace context in both directions: the coordinator's request ID
+// reaches the peer as header and body, the peer's returned timeline comes
+// back wrapped in Partial.Remote with sane clock references, and the
+// coordinator grafts it into its own timeline.
+func TestClientPropagatesTraceContext(t *testing.T) {
+	db := testDB(29, 10, 50, 0.4)
+	peer := newStubPeer(t, db)
+	client, err := NewClient(ClientConfig{Peers: []string{peer.srv.URL}, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.Options{Per: 4, MinPS: 2, MinRec: 1, Trace: obs.NewTrace()}
+	tl := obs.NewTimeline(32)
+	o.Trace.AttachTimeline(tl)
+	ctx := obs.WithRequestID(context.Background(), "req-42")
+
+	c := &Coordinator{Count: 2, Exec: client}
+	if _, err := c.Mine(ctx, db, o); err != nil {
+		t.Fatal(err)
+	}
+	peer.mu.Lock()
+	header, bodyID, traced := peer.lastHeader, peer.lastBodyID, peer.lastTrace
+	peer.mu.Unlock()
+	if header != "req-42" || bodyID != "req-42" {
+		t.Errorf("request ID did not propagate: header=%q body=%q, want req-42", header, bodyID)
+	}
+	if !traced {
+		t.Error("trace flag did not propagate to the peer")
+	}
+
+	snap := tl.Snapshot()
+	if len(snap.Peers) != 2 {
+		t.Fatalf("coordinator grafted %d peer timelines, want 2", len(snap.Peers))
+	}
+	for _, pt := range snap.Peers {
+		if pt.Peer != peer.srv.URL {
+			t.Errorf("graft names peer %q, want %q", pt.Peer, peer.srv.URL)
+		}
+		if pt.SendNS < 0 || pt.RecvNS < pt.SendNS {
+			t.Errorf("exchange window [%d,%d] is not ordered", pt.SendNS, pt.RecvNS)
+		}
+		if pt.ElapsedNS <= 0 {
+			t.Errorf("peer handling time = %d, want > 0", pt.ElapsedNS)
+		}
+		if len(pt.Snapshot.Spans) == 0 {
+			t.Error("grafted peer snapshot retained no spans")
+		}
+		if off := pt.AlignOffset(); off < pt.SendNS || off > pt.RecvNS {
+			t.Errorf("AlignOffset %d outside exchange window [%d,%d]", off, pt.SendNS, pt.RecvNS)
+		}
+	}
+	// The peers' phase reports feed the per-peer phase counters.
+	stats := client.Stats()
+	if len(stats) != 1 || len(stats[0].PhaseSeconds) == 0 {
+		t.Fatalf("PhaseSeconds empty after traced tasks: %+v", stats)
+	}
+	if stats[0].PhaseSeconds[obs.PhaseMine.String()] <= 0 {
+		t.Errorf("mine phase seconds = %v, want > 0", stats[0].PhaseSeconds)
+	}
+
+	// An untraced task stays untraced on the wire and returns no graft.
+	p2, err := client.Execute(context.Background(), db, core.Options{Per: 4, MinPS: 2, MinRec: 1},
+		Task{Index: 0, Count: 1, FP: db.Fingerprint()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer.mu.Lock()
+	header, bodyID, traced = peer.lastHeader, peer.lastBodyID, peer.lastTrace
+	peer.mu.Unlock()
+	if header != "" || bodyID != "" || traced {
+		t.Errorf("untraced request leaked trace context: header=%q body=%q trace=%v", header, bodyID, traced)
+	}
+	if p2.Remote != nil {
+		t.Error("untraced task returned a Remote timeline")
+	}
+}
+
+// TestFetchStats covers the fleet fan-out: every peer gets one entry in
+// sorted order, and a dead peer degrades to an error entry rather than
+// failing the fetch.
+func TestFetchStats(t *testing.T) {
+	db := testDB(31, 6, 30, 0.5)
+	alive := newStubPeer(t, db)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	client, err := NewClient(ClientConfig{Peers: []string{alive.srv.URL, deadURL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := client.FetchStats(context.Background())
+	if len(bodies) != 2 {
+		t.Fatalf("FetchStats returned %d entries, want 2", len(bodies))
+	}
+	wantOrder := client.Peers()
+	for i, b := range bodies {
+		if b.URL != wantOrder[i] {
+			t.Errorf("entry %d is %s, want sorted order %v", i, b.URL, wantOrder)
+		}
+		switch b.URL {
+		case alive.srv.URL:
+			if b.Err != nil || !strings.Contains(string(b.Body), "draining") {
+				t.Errorf("live peer entry: err=%v body=%q", b.Err, b.Body)
+			}
+		case deadURL:
+			if b.Err == nil {
+				t.Error("dead peer fetch reported no error")
+			}
+		}
 	}
 }
 

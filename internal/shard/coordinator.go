@@ -66,6 +66,11 @@ func (c *Coordinator) Mine(ctx context.Context, db *tsdb.DB, o core.Options) (*R
 			sp := o.Trace.StartLabeled(obs.PhaseShard, fmt.Sprintf("shard=%d/%d", t.Index, t.Count))
 			parts[i], errs[i] = c.Exec.Execute(sctx, db, o, t)
 			sp.End()
+			if p := parts[i]; p != nil && p.Remote != nil {
+				// Graft the peer's recorded lane into the coordinator's
+				// timeline: one fleet-wide flight record per request.
+				o.Trace.Timeline().AddPeer(*p.Remote)
+			}
 			if errs[i] != nil && c.Policy == FailFast {
 				cancel()
 			}

@@ -12,6 +12,21 @@ import (
 // sets here are single-digit, not datacenter-sized.
 const ringVnodes = 64
 
+// mix64 is the splitmix64 finalizer. FNV-1a alone is a poor circle hash:
+// similar inputs (one peer's "url#0".."url#63" vnode names, one plan's
+// task keys) keep their shared prefix in the high bits, so a peer's 64
+// vnodes collapse into one narrow band and a plan's tasks all fall into
+// the same inter-point gap — every task of a mine homing on one peer. The
+// finalizer's avalanche spreads both over the whole circle.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
 // ringPoint is one virtual node: a position on the hash circle owned by a
 // peer (indexed into the client's sorted peer list).
 type ringPoint struct {
@@ -40,7 +55,7 @@ func newRing(urls []string) (ring, error) {
 		for v := 0; v < ringVnodes; v++ {
 			h := fnv.New64a()
 			_, _ = fmt.Fprintf(h, "%s#%d", u, v)
-			r.points = append(r.points, ringPoint{hash: h.Sum64(), peer: i})
+			r.points = append(r.points, ringPoint{hash: mix64(h.Sum64()), peer: i})
 		}
 	}
 	slices.SortFunc(r.points, func(a, b ringPoint) int {

@@ -51,9 +51,10 @@ type Task struct {
 // Spec is the task's core-level shard restriction.
 func (t Task) Spec() core.ShardSpec { return core.ShardSpec{Index: t.Index, Count: t.Count} }
 
-// key is the task's consistent-hash routing key: FNV-1a over the database
-// fingerprint and the shard index, so one dataset's tasks spread over the
-// ring rather than dogpiling the peer that owns the fingerprint.
+// key is the task's consistent-hash routing key: finalized FNV-1a over
+// the database fingerprint and the shard index, so one dataset's tasks
+// spread over the ring rather than dogpiling the peer that owns the
+// fingerprint (see mix64 for why the finalizer matters).
 func (t Task) key() uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -61,7 +62,7 @@ func (t Task) key() uint64 {
 	_, _ = h.Write(b[:])
 	binary.BigEndian.PutUint64(b[:], uint64(t.Index))
 	_, _ = h.Write(b[:])
-	return h.Sum64()
+	return mix64(h.Sum64())
 }
 
 // Plan splits one mine over the fingerprinted database into count tasks.

@@ -110,6 +110,26 @@ func TestRingSpreadsTasks(t *testing.T) {
 	if len(homes) < 2 {
 		t.Errorf("all tasks homed on one peer: %v", homes)
 	}
+	// The tasks of ONE plan must spread too: their keys share the
+	// fingerprint prefix, which is exactly the similar-input case the
+	// mix64 finalizer exists for (without it a whole plan dogpiles one
+	// peer and scatter-gather degenerates to a proxy).
+	within := make(map[int]int)
+	for _, task := range mustPlan(t, 0xdeadbeefcafe, 16) {
+		within[r.sequence(task.key())[0]]++
+	}
+	if len(within) < 2 {
+		t.Errorf("all 16 tasks of one plan homed on one peer: %v", within)
+	}
+}
+
+func mustPlan(t *testing.T, fp uint64, count int) []Task {
+	t.Helper()
+	tasks, err := Plan(fp, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tasks
 }
 
 // TestCoordinatorEquivalence pins the reducer determinism property: the

@@ -4,7 +4,9 @@
 # direct mine, and an rpserved coordinator scattering over two real peer
 # servers must return the same /v1/mine response a single-box server does
 # (modulo timing fields), with the per-peer shard counters visible in
-# /metrics. Needs curl; run from anywhere.
+# /metrics, the merged fleet trace downloadable from the coordinator's
+# journal and valid per rptrace, and /v1/fleet/stats reaching every peer.
+# Needs curl; run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +42,7 @@ echo "== build"
 go build -o "$workdir/rpgen" ./cmd/rpgen
 go build -o "$workdir/rpmine" ./cmd/rpmine
 go build -o "$workdir/rpserved" ./cmd/rpserved
+go build -o "$workdir/rptrace" ./cmd/rptrace
 
 echo "== generate a small dataset"
 "$workdir/rpgen" -dataset shop14 -scale 0.02 -out "$workdir/shop.tdb"
@@ -81,6 +84,37 @@ for peer in "http://$p1" "http://$p2"; do
 done
 total=$(grep '^rpserved_shard_peer_success_total' <<<"$metrics" | awk '{s+=$2} END {print s}')
 [ "$total" = "3" ] || { echo "peer success counters sum to $total, want 3"; exit 1; }
+grep -q '^rpserved_shard_peer_phase_seconds{' <<<"$metrics" \
+    || { echo "metrics missing the per-peer per-phase family"; exit 1; }
+
+echo "== fleet trace: the scattered mine left one merged flight record"
+id=$(curl -sf "http://$coord/debug/requests?format=json" \
+    | grep -o '"id": "[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$id" ] || { echo "coordinator journal has no request entries"; exit 1; }
+curl -sf "http://$coord/debug/requests/trace?id=$id" >"$workdir/fleet.json"
+"$workdir/rptrace" -by-lane "$workdir/fleet.json" \
+    || { echo "merged fleet trace failed rptrace validation"; exit 1; }
+grep -q '"peer http://' "$workdir/fleet.json" \
+    || { echo "merged trace has no peer lanes"; exit 1; }
+
+echo "== peer journals join on the coordinator's request id"
+joined=0
+for host in "$p1" "$p2"; do
+    curl -sf "http://$host/debug/requests?format=json" | grep -q "\"id\": \"$id\"" \
+        && joined=$((joined + 1))
+done
+[ "$joined" -ge 1 ] || { echo "no peer journalled shard tasks under id $id"; exit 1; }
+
+echo "== /v1/fleet/stats fans out to both peers"
+fleet=$(curl -sf "http://$coord/v1/fleet/stats")
+for peer in "http://$p1" "http://$p2"; do
+    grep -q "\"url\": \"$peer\"" <<<"$fleet" \
+        || { echo "fleet stats missing peer $peer: $fleet"; exit 1; }
+done
+grep -q '"error"' <<<"$fleet" && { echo "fleet stats reported a peer error: $fleet"; exit 1; }
+# A peer is not a coordinator: the endpoint 404s there.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$p1/v1/fleet/stats")
+[ "$code" = "404" ] || { echo "peer answered /v1/fleet/stats with $code, want 404"; exit 1; }
 
 echo "== peers recorded the shard requests"
 peer_shards=0
