@@ -3,7 +3,7 @@
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: help build test check bench bench-core bench-ingest fmt vet rpvet vet-fix-check vet-sarif
+.PHONY: help build test check bench bench-core bench-ingest bench-diff fmt vet rpvet vet-fix-check vet-sarif
 
 help:
 	@echo "Targets:"
@@ -13,6 +13,7 @@ help:
 	@echo "  bench          end-to-end table benchmarks (root package)"
 	@echo "  bench-core     core hot-path benchmarks; updates BENCH_core.json via cmd/benchfmt"
 	@echo "  bench-ingest   ingest-path benchmarks (parallel text parse, v1, v2 mapped); updates BENCH_ingest.json"
+	@echo "  bench-diff     fresh core-benchmark run vs BENCH_core.json, Mann-Whitney per benchmark (exit 1 on regression)"
 	@echo "  fmt            gofmt -w ."
 	@echo "  vet            go vet ./..."
 	@echo "  rpvet          custom static-analysis passes"
@@ -42,6 +43,15 @@ bench-core:
 # loads, over the shared 16MB corpus.
 bench-ingest:
 	set -o pipefail; $(GO) test -run '^$$' -bench Ingest -benchmem -count 3 ./internal/tsdb/ | $(GO) run ./cmd/benchfmt -out BENCH_ingest.json
+
+# Statistical comparison of a fresh core-benchmark run against the tracked
+# baseline (Mann-Whitney per benchmark; see cmd/rpbenchdiff). Exits 1 when
+# a benchmark regressed significantly. BENCH_COUNT samples per benchmark.
+BENCH_COUNT ?= 5
+bench-diff:
+	set -o pipefail; \
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/core/ > /tmp/rpbenchdiff-new.txt; \
+	$(GO) run ./cmd/rpbenchdiff BENCH_core.json /tmp/rpbenchdiff-new.txt
 
 fmt:
 	gofmt -w .

@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"github.com/recurpat/rp/internal/bench"
@@ -91,26 +90,8 @@ func run(args []string, src io.Reader, dst io.Writer) error {
 }
 
 // parseBenchLine parses "BenchmarkName-8   123   456 ns/op   7 B/op ..." into
-// a record; reports ok=false for any other line.
+// a record; reports ok=false for any other line. The parser lives in
+// internal/bench so cmd/rpbenchdiff reads the same lines.
 func parseBenchLine(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Benchmark{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Benchmark{}, false
-		}
-		b.Metrics[fields[i+1]] = v
-	}
-	if len(b.Metrics) == 0 {
-		return Benchmark{}, false
-	}
-	return b, true
+	return bench.ParseBenchLine(line)
 }

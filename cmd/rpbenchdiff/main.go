@@ -1,0 +1,85 @@
+// Command rpbenchdiff compares two benchmark runs and reports which
+// benchmarks shifted significantly — a benchstat-style gate over the
+// repo's tracked baselines.
+//
+// Usage:
+//
+//	rpbenchdiff [-metric ns/op] [-alpha 0.05] [-threshold 5] \
+//	            [-format text|markdown] old new
+//
+// old and new are each either a tracked BENCH_*.json report (the
+// cmd/benchfmt shape) or raw `go test -bench -count=N` text; the format is
+// auto-detected, and the two sides may differ. Each benchmark's repeated
+// runs become a sample set, old and new are compared with a two-sided
+// Mann–Whitney U test (rank-based, so no normality assumption about timing
+// noise), and a shift counts only when p < alpha AND the median moved by
+// at least -threshold percent. All compared units are smaller-is-better,
+// so an upward significant shift is a regression.
+//
+// The exit status is the gate: 0 when no benchmark regressed
+// significantly, 1 when at least one did, 2 on usage or input errors.
+// `make bench-diff` wires this against BENCH_core.json, and CI runs it as
+// an advisory job.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/recurpat/rp/internal/bench"
+	"github.com/recurpat/rp/internal/cliio"
+)
+
+func main() {
+	regressions, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpbenchdiff:", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "rpbenchdiff: %d significant regression(s)\n", regressions)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, dst io.Writer) (regressions int, err error) {
+	out := cliio.NewWriter(dst)
+	fs := flag.NewFlagSet("rpbenchdiff", flag.ContinueOnError)
+	def := bench.DefaultDiffOptions()
+	var (
+		metric    = fs.String("metric", "ns/op", "metric to compare")
+		alpha     = fs.Float64("alpha", def.Alpha, "significance level for the Mann-Whitney test")
+		threshold = fs.Float64("threshold", def.ThresholdPct, "minimum median shift in percent to count a significant result")
+		format    = fs.String("format", "text", "output format: text or markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() != 2 {
+		return 0, fmt.Errorf("usage: rpbenchdiff [flags] old new (bench text or BENCH_*.json each)")
+	}
+	if *format != "text" && *format != "markdown" {
+		return 0, fmt.Errorf("-format %q: want text or markdown", *format)
+	}
+
+	oldS, err := bench.ReadSamples(fs.Arg(0), *metric)
+	if err != nil {
+		return 0, err
+	}
+	newS, err := bench.ReadSamples(fs.Arg(1), *metric)
+	if err != nil {
+		return 0, err
+	}
+	rows := bench.DiffSamples(oldS, newS, bench.DiffOptions{Alpha: *alpha, ThresholdPct: *threshold})
+	if *format == "markdown" {
+		fmt.Fprint(out, bench.FormatDiffMarkdown(rows, *metric))
+	} else {
+		fmt.Fprint(out, bench.FormatDiffText(rows, *metric))
+	}
+	if err := out.Err(); err != nil {
+		return 0, err
+	}
+	return bench.Regressions(rows), nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture writes `go test -bench` style output: n samples of one benchmark
+// around base ns/op with a deterministic jitter pattern.
+func fixture(t *testing.T, name string, base float64, n int) string {
+	t.Helper()
+	jitter := []float64{0, 0.021, -0.017, 0.008, -0.026, 0.013, -0.004, 0.029, -0.011, 0.018}
+	var b strings.Builder
+	b.WriteString("goos: linux\npkg: example/fixture\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "BenchmarkMine-8 \t 1000\t %.0f ns/op\n", base*(1+jitter[i%len(jitter)]))
+	}
+	b.WriteString("PASS\n")
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFlagsRegression(t *testing.T) {
+	oldPath := fixture(t, "old.txt", 1000, 10)
+	newPath := fixture(t, "new.txt", 1200, 10)
+	var out strings.Builder
+	regressions, err := run([]string{oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Errorf("regressions = %d, want 1; output:\n%s", regressions, out.String())
+	}
+	for _, want := range []string{"BenchmarkMine", "regression", "+"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSilentOnIdenticalRuns(t *testing.T) {
+	oldPath := fixture(t, "old.txt", 1000, 10)
+	newPath := fixture(t, "new.txt", 1000, 10)
+	var out strings.Builder
+	regressions, err := run([]string{oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Errorf("regressions = %d, want 0; output:\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "~") {
+		t.Errorf("output should mark the row statistically indistinguishable:\n%s", out.String())
+	}
+}
+
+func TestRunMarkdownAndErrors(t *testing.T) {
+	oldPath := fixture(t, "old.txt", 1000, 5)
+	var out strings.Builder
+	if _, err := run([]string{"-format", "markdown", oldPath, oldPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| BenchmarkMine |") {
+		t.Errorf("markdown output malformed:\n%s", out.String())
+	}
+
+	if _, err := run([]string{oldPath}, &out); err == nil {
+		t.Error("one argument should be a usage error")
+	}
+	if _, err := run([]string{"-format", "csv", oldPath, oldPath}, &out); err == nil {
+		t.Error("unknown format should error")
+	}
+	if _, err := run([]string{oldPath, filepath.Join(t.TempDir(), "missing.txt")}, &out); err == nil {
+		t.Error("missing input file should error")
+	}
+}

@@ -138,6 +138,23 @@ func check(path string, quiet, phases, byLane bool, out *cliio.Writer) error {
 			fmt.Fprintf(out, "  dropped spans: %d (retention cap reached; aggregates still complete)\n", dropped)
 		}
 	}
+	// rpserved embeds the producing request's resource cost; surface it the
+	// same way — parsed strictly, printed only when present.
+	if raw := f.OtherData["requestAllocBytes"]; raw != "" {
+		alloc, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s: otherData.requestAllocBytes %q is not a byte count: %w", path, raw, err)
+		}
+		line := fmt.Sprintf("  request cost: %d bytes allocated", alloc)
+		if raw := f.OtherData["requestCPUMS"]; raw != "" {
+			cpuMS, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return fmt.Errorf("%s: otherData.requestCPUMS %q is not a duration: %w", path, raw, err)
+			}
+			line += fmt.Sprintf(", %.1fms CPU", cpuMS)
+		}
+		fmt.Fprintln(out, line)
+	}
 	if phases {
 		for _, name := range order {
 			agg := byPhase[name]

@@ -97,6 +97,38 @@ func writeTrace(t *testing.T, content string) string {
 	return path
 }
 
+// TestRequestCostLine pins the summary's handling of the embedded request
+// cost: printed when present, parsed strictly, absent otherwise.
+func TestRequestCostLine(t *testing.T) {
+	withCost := strings.Replace(fleetTrace, `"droppedSpans":"3"`,
+		`"droppedSpans":"3","requestAllocBytes":"1048576","requestCPUMS":"12.500"`, 1)
+	var out bytes.Buffer
+	if err := run([]string{writeTrace(t, withCost)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "request cost: 1048576 bytes allocated, 12.5ms CPU") {
+		t.Errorf("summary lacks the request cost line:\n%s", out.String())
+	}
+
+	// Without the cost keys (the fixture as-is) no cost line appears.
+	out.Reset()
+	if err := run([]string{writeTrace(t, fleetTrace)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "request cost") {
+		t.Errorf("cost line printed without cost metadata:\n%s", out.String())
+	}
+
+	// Garbage values fail loudly instead of echoing through.
+	bad := strings.Replace(fleetTrace, `"droppedSpans":"3"`,
+		`"requestAllocBytes":"lots"`, 1)
+	out.Reset()
+	if err := run([]string{writeTrace(t, bad)}, &out); err == nil ||
+		!strings.Contains(err.Error(), "requestAllocBytes") {
+		t.Errorf("malformed requestAllocBytes: err = %v, want parse failure", err)
+	}
+}
+
 // TestByLane checks the per-process-track breakdown of a merged fleet
 // trace: every track appears by name with its span count, and client
 // annotations (instant events) are counted on the track they mark.

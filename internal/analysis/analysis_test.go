@@ -95,6 +95,8 @@ func TestFixtureFindsEveryKind(t *testing.T) {
 		"fake.go:10:14: layering: baseline packages may only use internal/core's measure API, not core.Mine",
 		"ext/badserve.go:6:8: layering: import of internal/serve: only {cmd/rpserved} may import it",
 		"bench/badanalysis.go:6:8: layering: import of internal/analysis: only {cmd/rpvet} may import it",
+		"ext/badprof.go:6:8: layering: import of internal/obs/prof: only {internal/serve, cmd} may import it",
+		"obs/prof/badimport.go:6:8: layering: import of internal/tsdb breaks the layering rules: internal/obs/prof may only import {internal/obs}",
 		"serve/badimport.go:7:8: layering: import of internal/baseline/fake breaks the layering rules",
 		// concurrency
 		"conc.go:16:46: concurrency: goroutine captures loop variable r",
@@ -132,6 +134,8 @@ func TestFixtureFindsEveryKind(t *testing.T) {
 		"tsdb.go",              // the substrate package is entirely clean
 		"serve/serve.go",       // serve importing core is within its Allow rule
 		"cmd/rpserved/main.go", // the one importer the serve restriction permits
+		"serve/profok.go",      // serve is inside the obs/prof restriction's allow list
+		"obs/prof/prof.go",     // prof importing the obs substrate is its Allow rule
 		"cmd/tool/ctx.go",      // the edge layer may mint root contexts
 		"ctxflow.go:40",        // Threads passes its ctx along: clean
 		"ctxflow.go:18",        // SearchContext's own body is clean

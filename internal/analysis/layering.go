@@ -14,6 +14,7 @@ import (
 //
 //	internal/tsdb      → nothing internal (the shared substrate)
 //	internal/obs       → nothing internal (the observability substrate)
+//	internal/obs/prof  → internal/obs (profiling rides on the substrate)
 //	internal/core      → internal/tsdb, internal/obs
 //	internal/gen       → internal/tsdb
 //	internal/seq       → internal/tsdb
@@ -33,7 +34,10 @@ import (
 // cmd/rpserved may import it, so the library surface other code builds on
 // stays the public rp package (and the service can change shape freely);
 // internal/analysis is the vet tool's framework and only cmd/rpvet may
-// import it, so pass plumbing never leaks into the miner.
+// import it, so pass plumbing never leaks into the miner;
+// internal/obs/prof is continuous-profiling service plumbing and only the
+// serve layer and the cmds may import it, so the miner and the library
+// packages never grow a dependency on process-wide profiler state.
 //
 // On top of the import edges, internal/baseline packages may reference
 // only internal/core's shared measure API (Recurrence, Erec, ...): the
@@ -42,7 +46,7 @@ import (
 func LayeringPass() *Pass {
 	return &Pass{
 		Name:    "layering",
-		Version: 3,
+		Version: 4,
 		Doc:     "enforce the internal import DAG and the baseline/core measure-API boundary",
 		Run:     runLayering,
 	}
@@ -59,6 +63,7 @@ type layerRule struct {
 var layerRules = []layerRule{
 	{Prefix: "internal/tsdb", Allow: []string{}},
 	{Prefix: "internal/obs", Allow: []string{}},
+	{Prefix: "internal/obs/prof", Allow: []string{"internal/obs"}},
 	{Prefix: "internal/core", Allow: []string{"internal/tsdb", "internal/obs"}},
 	{Prefix: "internal/gen", Allow: []string{"internal/tsdb"}},
 	{Prefix: "internal/seq", Allow: []string{"internal/tsdb"}},
@@ -91,6 +96,8 @@ var importRestrictions = []importRestriction{
 		Reason: "everything else goes through the public rp package"},
 	{Prefix: "internal/analysis", Allowed: []string{"cmd/rpvet"},
 		Reason: "the vet framework is tooling, not a library for the miner"},
+	{Prefix: "internal/obs/prof", Allowed: []string{"internal/serve", "cmd"},
+		Reason: "continuous profiling is service plumbing, not a library for the miner"},
 }
 
 // coreMeasureAPI is the part of internal/core the baselines may use: the

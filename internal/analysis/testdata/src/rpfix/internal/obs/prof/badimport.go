@@ -1,0 +1,11 @@
+package prof
+
+// Seeded layering violation: prof sits just above the obs substrate and
+// may not reach into the storage layer.
+
+import "example.com/rpfix/internal/tsdb"
+
+// BadCapture drags the storage substrate into prof: flagged.
+func BadCapture(id tsdb.ItemID) int {
+	return int(id)
+}

@@ -1,0 +1,10 @@
+package serve
+
+// Clean: the serve layer is one of the two importers the internal/obs/prof
+// restriction permits, and obs/prof is within serve's Allow rule via the
+// internal/obs prefix.
+
+import "example.com/rpfix/internal/obs/prof"
+
+// ProfileSample wires the profiling subsystem into the service: clean.
+func ProfileSample() int { return prof.Sample(2) }

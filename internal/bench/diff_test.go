@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchTextFixture renders `go test -bench` style output with one line per
+// sample. The jitter pattern is deterministic: sample i of a benchmark at
+// base b reads b*(1 + jitter[i%len]) — realistic few-percent noise without
+// randomness.
+func benchTextFixture(name string, base float64, n int) string {
+	jitter := []float64{0, 0.021, -0.017, 0.008, -0.026, 0.013, -0.004, 0.029, -0.011, 0.018}
+	var b strings.Builder
+	b.WriteString("goos: linux\ngoarch: amd64\npkg: example/fixture\n")
+	for i := 0; i < n; i++ {
+		v := base * (1 + jitter[i%len(jitter)])
+		fmt.Fprintf(&b, "%s-8 \t 1000\t %.0f ns/op\t 128 B/op\t 3 allocs/op\n", name, v)
+	}
+	b.WriteString("PASS\n")
+	return b.String()
+}
+
+func writeFixture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := ParseBenchLine("BenchmarkMine-8 \t 2367\t 454715 ns/op\t 492360 B/op\t 1898 allocs/op")
+	if !ok {
+		t.Fatal("result line did not parse")
+	}
+	if b.Name != "BenchmarkMine-8" || b.Iterations != 2367 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.Metrics["ns/op"] != 454715 || b.Metrics["allocs/op"] != 1898 {
+		t.Errorf("metrics %v", b.Metrics)
+	}
+	for _, line := range []string{"PASS", "goos: linux", "ok  \tpkg\t1.2s", "", "Benchmark but not a result"} {
+		if _, ok := ParseBenchLine(line); ok {
+			t.Errorf("non-result line %q parsed", line)
+		}
+	}
+}
+
+func TestReadSamplesTextAndJSON(t *testing.T) {
+	text := writeFixture(t, "bench.txt", benchTextFixture("BenchmarkMine", 1000, 5))
+	s, err := ReadSamples(text, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s["BenchmarkMine"]) != 5 {
+		t.Errorf("text samples: %v", s)
+	}
+
+	jsonPath := writeFixture(t, "bench.json", `{
+	  "context": {"pkg": "example"},
+	  "benchmarks": [
+	    {"name": "BenchmarkMine", "iterations": 10, "metrics": {"ns/op": 100}},
+	    {"name": "BenchmarkMine", "iterations": 10, "metrics": {"ns/op": 110}}
+	  ]
+	}`)
+	s, err = ReadSamples(jsonPath, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{100, 110}; len(s["BenchmarkMine"]) != 2 || s["BenchmarkMine"][0] != want[0] {
+		t.Errorf("json samples: %v", s)
+	}
+
+	if _, err := ReadSamples(text, "widgets/op"); err == nil {
+		t.Error("missing metric should error")
+	}
+	if _, err := ReadSamples(writeFixture(t, "empty.txt", "PASS\n"), "ns/op"); err == nil {
+		t.Error("input without benchmarks should error")
+	}
+}
+
+func TestMannWhitneyU(t *testing.T) {
+	same := []float64{5, 5, 5, 5}
+	if p := MannWhitneyU(same, same); p != 1 {
+		t.Errorf("fully tied samples: p=%v, want 1", p)
+	}
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	y := []float64{11, 12, 13, 14, 15, 16, 17, 18, 19, 20}
+	if p := MannWhitneyU(x, y); p >= 0.001 {
+		t.Errorf("disjoint samples: p=%v, want < 0.001", p)
+	}
+	// Symmetric in its arguments.
+	if p1, p2 := MannWhitneyU(x, y), MannWhitneyU(y, x); math.Abs(p1-p2) > 1e-12 {
+		t.Errorf("asymmetric: %v vs %v", p1, p2)
+	}
+	if p := MannWhitneyU(nil, y); p != 1 {
+		t.Errorf("empty side: p=%v, want 1", p)
+	}
+}
+
+// TestDiffFlagsSlowdown is the acceptance case: a 20% slowdown at N=10
+// with realistic jitter must come out a significant regression.
+func TestDiffFlagsSlowdown(t *testing.T) {
+	oldPath := writeFixture(t, "old.txt", benchTextFixture("BenchmarkMine", 1000, 10))
+	newPath := writeFixture(t, "new.txt", benchTextFixture("BenchmarkMine", 1200, 10))
+	oldS, err := ReadSamples(oldPath, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newS, err := ReadSamples(newPath, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := DiffSamples(oldS, newS, DefaultDiffOptions())
+	if len(rows) != 1 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	r := rows[0]
+	if !r.Regression || !r.Significant {
+		t.Errorf("20%% slowdown at N=10 not flagged: %+v", r)
+	}
+	if r.P >= 0.05 {
+		t.Errorf("p=%v, want < 0.05", r.P)
+	}
+	if r.DeltaPct < 15 || r.DeltaPct > 25 {
+		t.Errorf("delta %.1f%%, want ~+20%%", r.DeltaPct)
+	}
+
+	// A significant speedup is significant but not a regression.
+	rows = DiffSamples(newS, oldS, DefaultDiffOptions())
+	if r := rows[0]; !r.Significant || r.Regression {
+		t.Errorf("20%% speedup misclassified: %+v", r)
+	}
+}
+
+// TestDiffSilentOnResample is the other acceptance case: two runs drawn
+// from the same distribution must not be flagged.
+func TestDiffSilentOnResample(t *testing.T) {
+	// Same base and jitter pattern, phase-shifted: identical distribution,
+	// different sample order.
+	text := benchTextFixture("BenchmarkMine", 1000, 10)
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	resampled := strings.Join(append(append([]string{}, lines[8:]...), lines[:8]...), "\n") + "\n"
+
+	oldS, err := ReadSamples(writeFixture(t, "old.txt", text), "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newS, err := ReadSamples(writeFixture(t, "new.txt", resampled), "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := DiffSamples(oldS, newS, DefaultDiffOptions())
+	if r := rows[0]; r.Significant || r.Regression {
+		t.Errorf("identical resampled runs flagged: %+v", r)
+	}
+	if Regressions(rows) != 0 {
+		t.Errorf("Regressions = %d, want 0", Regressions(rows))
+	}
+}
+
+func TestDiffDisjointNamesAndThreshold(t *testing.T) {
+	oldS := Samples{"BenchmarkGone": {1, 1, 1}, "BenchmarkBoth": {100, 101, 102}}
+	newS := Samples{"BenchmarkNew": {2, 2, 2}, "BenchmarkBoth": {103, 104, 105}}
+	rows := DiffSamples(oldS, newS, DefaultDiffOptions())
+	if len(rows) != 3 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	byName := map[string]DiffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if byName["BenchmarkGone"].OnlyIn != "old" || byName["BenchmarkNew"].OnlyIn != "new" {
+		t.Errorf("OnlyIn rows: %+v", rows)
+	}
+	// A ~3% shift stays below the 5% threshold, so it must not be flagged
+	// regardless of its p-value.
+	if r := byName["BenchmarkBoth"]; r.Significant {
+		t.Errorf("sub-threshold shift flagged: %+v", r)
+	}
+}
+
+func TestNormalizeBenchName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkMine-8":        "BenchmarkMine",
+		"BenchmarkMine":          "BenchmarkMine",
+		"BenchmarkMine/size=10":  "BenchmarkMine/size=10",
+		"BenchmarkMine/sub-case": "BenchmarkMine/sub-case",
+	} {
+		if got := normalizeBenchName(in); got != want {
+			t.Errorf("normalizeBenchName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatDiff(t *testing.T) {
+	rows := DiffSamples(
+		Samples{"BenchmarkMine": {1000, 1010, 990}},
+		Samples{"BenchmarkMine": {2000, 2020, 1980}},
+		DiffOptions{Alpha: 0.2, ThresholdPct: 5},
+	)
+	text := FormatDiffText(rows, "ns/op")
+	for _, want := range []string{"BenchmarkMine", "1.0µs", "2.0µs", "+100.0%", "regression"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text table missing %q:\n%s", want, text)
+		}
+	}
+	md := FormatDiffMarkdown(rows, "ns/op")
+	if !strings.Contains(md, "| BenchmarkMine |") || !strings.Contains(md, "| regression |") {
+		t.Errorf("markdown table malformed:\n%s", md)
+	}
+}

@@ -41,18 +41,27 @@ func MineContext(ctx context.Context, db *tsdb.DB, o Options) (*Result, error) {
 	}
 	defer o.Trace.StartTotal().End()
 	res := &Result{}
-	sp := o.Trace.Start(obs.PhaseScan)
-	list := BuildRPList(db, o)
-	sp.End()
+	// Each section runs under a phase pprof label (plus whatever request
+	// labels the caller attached via obs.WithMineLabels), so a continuous
+	// -profiling CPU capture attributes its samples to algorithm phases.
+	var list *RPList
+	obs.DoPhase(ctx, obs.PhaseScan, func(context.Context) {
+		sp := o.Trace.Start(obs.PhaseScan)
+		list = BuildRPList(db, o)
+		sp.End()
+	})
 	if o.CollectStats {
 		res.Stats.CandidateItems = len(list.Candidates)
 	}
 	if len(list.Candidates) == 0 {
 		return res, nil
 	}
-	sp = o.Trace.Start(obs.PhaseTreeBuild)
-	tree := buildRPTree(db, list)
-	sp.End()
+	var tree *rpTree
+	obs.DoPhase(ctx, obs.PhaseTreeBuild, func(context.Context) {
+		sp := o.Trace.Start(obs.PhaseTreeBuild)
+		tree = buildRPTree(db, list)
+		sp.End()
+	})
 	if o.CollectStats {
 		res.Stats.TreeNodes += tree.nodes
 	}
@@ -60,11 +69,13 @@ func MineContext(ctx context.Context, db *tsdb.DB, o Options) (*Result, error) {
 	if o.Parallelism > 1 {
 		cancelled = mineParallel(ctx, tree, o, res)
 	} else {
-		m := newMiner(o)
-		m.res, m.done = res, ctx.Done()
-		m.mineTree(tree, nil, 1)
-		m.lc.Flush(m.tr)
-		cancelled = m.cancelled
+		obs.DoPhase(ctx, obs.PhaseMine, func(ctx context.Context) {
+			m := newMiner(o)
+			m.res, m.done = res, ctx.Done()
+			m.mineTree(tree, nil, 1)
+			m.lc.Flush(m.tr)
+			cancelled = m.cancelled
+		})
 	}
 	if cancelled {
 		cerr := &CancelError{Err: ctx.Err()}
@@ -73,9 +84,11 @@ func MineContext(ctx context.Context, db *tsdb.DB, o Options) (*Result, error) {
 		}
 		return nil, cerr
 	}
-	sp = o.Trace.Start(obs.PhaseFinalize)
-	res.Canonicalize()
-	sp.End()
+	obs.DoPhase(ctx, obs.PhaseFinalize, func(context.Context) {
+		sp := o.Trace.Start(obs.PhaseFinalize)
+		res.Canonicalize()
+		sp.End()
+	})
 	return res, nil
 }
 
@@ -282,40 +295,11 @@ func mineRanks(ctx context.Context, t *rpTree, o Options, res *Result, ranks []i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m := newMiner(o)
-			m.done = done
-			for {
-				if m.checkCancel() {
-					stopped.Store(true)
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= len(ranks) {
-					return
-				}
-				r := ranks[i]
-				m.res = &partial[i]
-				var sp obs.TaskSpan
-				if m.tr != nil {
-					sp = m.tr.StartTask(m.taskLabel(t.order[r]), &m.lc)
-				}
-				m.mineRank(t, r, nil, 1, true)
-				if m.tr != nil {
-					// One subtree task per rank: time it (retaining the
-					// span when a timeline is attached) and publish the
-					// worker's batch (merge times, prune counts) with it.
-					sp.End(&m.lc)
-					m.lc.Flush(m.tr)
-				}
-				if m.cancelled {
-					stopped.Store(true)
-					return
-				}
-				if m.o.CollectStats && 1 > m.res.Stats.MaxDepth {
-					m.res.Stats.MaxDepth = 1
-				}
-				m.arena.reset(0)
-			}
+			// The worker runs under phase=mine pprof labels; request-scoped
+			// labels (request_id, dataset_fp) are inherited from ctx, so a
+			// CPU capture taken mid-run attributes worker samples to the
+			// request that spawned them.
+			obs.DoPhase(ctx, obs.PhaseMine, func(context.Context) { mineWorker(t, o, done, ranks, partial, &next, &stopped) })
 		}()
 	}
 	wg.Wait()
@@ -329,4 +313,45 @@ func mineRanks(ctx context.Context, t *rpTree, o Options, res *Result, ranks []i
 		}
 	}
 	return stopped.Load()
+}
+
+// mineWorker is one pool worker's loop: claim rank indexes from the shared
+// queue, mine each claimed rank's subtree into its partial slot, and stop
+// once ctx fired (done) or the queue drains. Extracted from the goroutine
+// literal in mineRanks so the pprof.Do phase wrapper stays a one-liner.
+func mineWorker(t *rpTree, o Options, done <-chan struct{}, ranks []int, partial []Result, next *atomic.Int64, stopped *atomic.Bool) {
+	m := newMiner(o)
+	m.done = done
+	for {
+		if m.checkCancel() {
+			stopped.Store(true)
+			return
+		}
+		i := int(next.Add(1)) - 1
+		if i >= len(ranks) {
+			return
+		}
+		r := ranks[i]
+		m.res = &partial[i]
+		var sp obs.TaskSpan
+		if m.tr != nil {
+			sp = m.tr.StartTask(m.taskLabel(t.order[r]), &m.lc)
+		}
+		m.mineRank(t, r, nil, 1, true)
+		if m.tr != nil {
+			// One subtree task per rank: time it (retaining the
+			// span when a timeline is attached) and publish the
+			// worker's batch (merge times, prune counts) with it.
+			sp.End(&m.lc)
+			m.lc.Flush(m.tr)
+		}
+		if m.cancelled {
+			stopped.Store(true)
+			return
+		}
+		if m.o.CollectStats && 1 > m.res.Stats.MaxDepth {
+			m.res.Stats.MaxDepth = 1
+		}
+		m.arena.reset(0)
+	}
 }

@@ -1,0 +1,46 @@
+package prof
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// Cost is a point-in-time read of the process's cumulative resource use.
+// Per-request cost is the difference of two reads taken around the mining
+// section; both counters are process-wide, so attribution is exact only
+// while one request mines at a time and an upper bound under concurrency
+// (the journal documents it as such).
+type Cost struct {
+	// AllocBytes is cumulative heap allocation (runtime/metrics
+	// /gc/heap/allocs:bytes): monotone, counts all allocs ever, immune to
+	// GC timing.
+	AllocBytes uint64
+	// CPU is cumulative user+system CPU time consumed by the process.
+	// Read from getrusage on unix; zero where unavailable, and a Sub of
+	// two zero reads stays zero rather than inventing numbers.
+	CPU time.Duration
+}
+
+// Sub returns the per-section delta c-prev, clamped at zero (counters are
+// monotone, but clamping keeps a misordered pair from going negative).
+func (c Cost) Sub(prev Cost) Cost {
+	d := Cost{}
+	if c.AllocBytes > prev.AllocBytes {
+		d.AllocBytes = c.AllocBytes - prev.AllocBytes
+	}
+	if c.CPU > prev.CPU {
+		d.CPU = c.CPU - prev.CPU
+	}
+	return d
+}
+
+var allocSample = []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+
+// ReadCost samples the process counters. Cheap enough to call per request:
+// one runtime/metrics read plus one getrusage syscall.
+func ReadCost() Cost {
+	s := make([]metrics.Sample, len(allocSample))
+	copy(s, allocSample)
+	metrics.Read(s)
+	return Cost{AllocBytes: s[0].Value.Uint64(), CPU: processCPU()}
+}

@@ -1,0 +1,24 @@
+//go:build unix
+
+package prof
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns cumulative user+system CPU time via getrusage.
+// runtime/metrics' /cpu/classes/* would avoid the syscall but is only
+// refreshed at GC boundaries (and documented as an estimate), so deltas
+// around a short mining section read as zero there; rusage is exact.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvDuration(ru.Utime) + tvDuration(ru.Stime)
+}
+
+func tvDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}

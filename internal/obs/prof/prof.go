@@ -1,0 +1,299 @@
+// Package prof is the continuous-profiling subsystem: a recorder that
+// periodically captures CPU and heap pprof profiles of the running process
+// into a bounded in-memory ring (optionally spilled to disk), plus the
+// per-request cost readout (alloc bytes, CPU seconds) the serve layer
+// wraps around its mining sections.
+//
+// It is stdlib-only and sits one layer above internal/obs (for the shared
+// clock); only the serve layer and the cmds may import it — profiling is
+// service plumbing, not a library for the miner, and the layering pass
+// enforces that.
+//
+// Design: a capture is cheap (runtime/pprof does the work) but not free,
+// so the recorder runs one background goroutine on a fixed interval; each
+// tick takes a CPU profile of a short window and a heap snapshot, stamps
+// both with capture metadata (sequence, wall time, load at capture, alloc
+// delta over the window), and pushes them into a ring of the last Retain
+// captures. When the ring is full the oldest capture is dropped and a
+// dropped counter advances, so the /debug/profiles listing always says how
+// much history was discarded. Ring data lives in memory — profiles of this
+// process are a few tens of KB gzipped — and is additionally written to
+// Dir when set, so a crashed process leaves its last profiles behind.
+package prof
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"github.com/recurpat/rp/internal/obs"
+)
+
+// Config parameterizes a Recorder. The zero value is usable: defaults are
+// applied by New.
+type Config struct {
+	// Interval is the spacing between capture ticks. Default 60s.
+	Interval time.Duration
+	// CPUDuration is the length of the CPU-profile window inside each
+	// tick. Default min(1s, Interval/2); clamped to Interval/2 so a tick
+	// always finishes before the next starts.
+	CPUDuration time.Duration
+	// Retain bounds the capture ring (one entry per profile kind per
+	// tick). Default 16.
+	Retain int
+	// Dir, when non-empty, also writes each capture to
+	// <Dir>/<seq>-<kind>.pprof. The directory is created on Start. Disk
+	// files are pruned alongside the ring.
+	Dir string
+	// Load, when non-nil, is sampled at each capture and recorded in the
+	// capture metadata (the serve layer passes its admission in-flight
+	// count, so a profile can be read next to the load it saw).
+	Load func() float64
+	// Logger receives capture failures. Nil means discard.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = time.Minute
+	}
+	if c.CPUDuration <= 0 {
+		c.CPUDuration = time.Second
+	}
+	if c.CPUDuration > c.Interval/2 {
+		c.CPUDuration = c.Interval / 2
+	}
+	if c.Retain <= 0 {
+		c.Retain = 16
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	return c
+}
+
+// Capture is one recorded profile plus its metadata. Bytes holds the
+// gzipped pprof protobuf exactly as runtime/pprof wrote it.
+type Capture struct {
+	// ID names the capture for download URLs and disk files:
+	// "<seq>-<kind>", e.g. "42-cpu".
+	ID string `json:"id"`
+	// Kind is "cpu" or "heap".
+	Kind string `json:"kind"`
+	// Seq increments per tick (both kinds of one tick share a Seq).
+	Seq uint64 `json:"seq"`
+	// Start is the wall time the capture window opened.
+	Start time.Time `json:"start"`
+	// DurMS is the capture window length (CPU) or 0 (heap snapshot).
+	DurMS int64 `json:"durMS"`
+	// Load is Config.Load sampled at the window open, or 0.
+	Load float64 `json:"load"`
+	// AllocDeltaBytes is the heap allocation growth across the capture
+	// window (both kinds of one tick report the same window).
+	AllocDeltaBytes uint64 `json:"allocDeltaBytes"`
+	// Err carries a capture failure (for example the CPU profiler was
+	// already running under -cpuprofile); Bytes is empty then.
+	Err string `json:"err,omitempty"`
+
+	Bytes []byte `json:"-"`
+}
+
+// Recorder owns the background capture loop and the ring. Create with New,
+// then Start/Stop; List and Get serve the ring to HTTP handlers.
+type Recorder struct {
+	cfg Config
+
+	mu      sync.Mutex
+	ring    []Capture // oldest first, len <= cfg.Retain
+	dropped uint64
+	seq     uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New returns a stopped Recorder with defaults applied.
+func New(cfg Config) *Recorder {
+	return &Recorder{cfg: cfg.withDefaults()}
+}
+
+// Interval returns the effective capture interval after defaulting.
+func (r *Recorder) Interval() time.Duration { return r.cfg.Interval }
+
+// Retain returns the effective ring capacity after defaulting.
+func (r *Recorder) Retain() int { return r.cfg.Retain }
+
+// Start launches the capture loop. It returns an error only when Dir is
+// set and cannot be created. Start after Stop is not supported.
+func (r *Recorder) Start() error {
+	if r.cfg.Dir != "" {
+		if err := os.MkdirAll(r.cfg.Dir, 0o755); err != nil {
+			return fmt.Errorf("prof: create capture dir: %w", err)
+		}
+	}
+	r.stop = make(chan struct{})
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.loop()
+	}()
+	return nil
+}
+
+// Stop terminates the capture loop and waits for an in-flight capture to
+// finish. Safe to call once after Start.
+func (r *Recorder) Stop() {
+	if r.stop == nil {
+		return
+	}
+	close(r.stop)
+	r.wg.Wait()
+}
+
+func (r *Recorder) loop() {
+	ticker := time.NewTicker(r.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			r.CaptureOnce()
+		}
+	}
+}
+
+// CaptureOnce performs one capture tick synchronously: a CPU profile over
+// the configured window plus a heap snapshot, both pushed into the ring.
+// Exported for tests and for a future on-demand trigger; the background
+// loop calls it per tick.
+func (r *Recorder) CaptureOnce() {
+	seq := r.nextSeq()
+	start := obs.Now()
+	load := 0.0
+	if r.cfg.Load != nil {
+		load = r.cfg.Load()
+	}
+	alloc0 := ReadCost().AllocBytes
+
+	var cpuBuf bytes.Buffer
+	cpuErr := pprof.StartCPUProfile(&cpuBuf)
+	if cpuErr == nil {
+		// The window is a plain sleep, interruptible by Stop so shutdown
+		// never waits out a long window.
+		select {
+		case <-time.After(r.cfg.CPUDuration):
+		case <-r.stopCh():
+		}
+		pprof.StopCPUProfile()
+	}
+
+	allocDelta := ReadCost().AllocBytes - alloc0
+	cpu := Capture{
+		ID:              fmt.Sprintf("%d-cpu", seq),
+		Kind:            "cpu",
+		Seq:             seq,
+		Start:           start,
+		DurMS:           r.cfg.CPUDuration.Milliseconds(),
+		Load:            load,
+		AllocDeltaBytes: allocDelta,
+		Bytes:           cpuBuf.Bytes(),
+	}
+	if cpuErr != nil {
+		// Another profiler owns the CPU profile (e.g. -cpuprofile); record
+		// the failed slot so the listing shows the gap, keep heap captures.
+		cpu.Err = cpuErr.Error()
+		cpu.Bytes = nil
+		r.cfg.Logger.Warn("prof: cpu capture failed", "err", cpuErr)
+	}
+
+	var heapBuf bytes.Buffer
+	heap := Capture{
+		ID:              fmt.Sprintf("%d-heap", seq),
+		Kind:            "heap",
+		Seq:             seq,
+		Start:           start,
+		Load:            load,
+		AllocDeltaBytes: allocDelta,
+	}
+	if err := pprof.Lookup("heap").WriteTo(&heapBuf, 0); err != nil {
+		heap.Err = err.Error()
+		r.cfg.Logger.Warn("prof: heap capture failed", "err", err)
+	} else {
+		heap.Bytes = heapBuf.Bytes()
+	}
+
+	r.push(cpu)
+	r.push(heap)
+}
+
+// stopCh returns the stop channel, or a nil channel (blocks forever) when
+// the recorder was never started — CaptureOnce must work standalone.
+func (r *Recorder) stopCh() <-chan struct{} {
+	if r.stop == nil {
+		return nil
+	}
+	return r.stop
+}
+
+func (r *Recorder) nextSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	return r.seq
+}
+
+func (r *Recorder) push(c Capture) {
+	if c.Err == "" && r.cfg.Dir != "" {
+		path := filepath.Join(r.cfg.Dir, c.ID+".pprof")
+		if err := os.WriteFile(path, c.Bytes, 0o644); err != nil {
+			r.cfg.Logger.Warn("prof: spill capture", "path", path, "err", err)
+		}
+	}
+	r.mu.Lock()
+	var evicted []Capture
+	r.ring = append(r.ring, c)
+	for len(r.ring) > r.cfg.Retain {
+		evicted = append(evicted, r.ring[0])
+		r.ring = r.ring[1:]
+		r.dropped++
+	}
+	r.mu.Unlock()
+	if r.cfg.Dir != "" {
+		for _, old := range evicted {
+			if err := os.Remove(filepath.Join(r.cfg.Dir, old.ID+".pprof")); err != nil && !os.IsNotExist(err) {
+				r.cfg.Logger.Warn("prof: prune capture", "id", old.ID, "err", err)
+			}
+		}
+	}
+}
+
+// List returns the retained captures oldest-first (metadata only, Bytes
+// nil) plus the count of captures dropped by ring eviction.
+func (r *Recorder) List() (captures []Capture, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	captures = make([]Capture, len(r.ring))
+	for i, c := range r.ring {
+		c.Bytes = nil
+		captures[i] = c
+	}
+	return captures, r.dropped
+}
+
+// Get returns the capture with the given ID, including its profile bytes.
+func (r *Recorder) Get(id string) (Capture, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.ring {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Capture{}, false
+}

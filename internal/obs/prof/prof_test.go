@@ -1,0 +1,238 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"github.com/recurpat/rp/internal/obs"
+)
+
+func TestReadCostAllocDelta(t *testing.T) {
+	before := ReadCost()
+	// Large objects: they bypass the per-P span caches whose unflushed
+	// remainders make small-allocation deltas approximate.
+	sink := make([][]byte, 0, 8)
+	for i := 0; i < 8; i++ {
+		sink = append(sink, make([]byte, 1<<20))
+	}
+	after := ReadCost()
+	d := after.Sub(before)
+	// The counter is span-granular, so demand most of the allocation, not
+	// a byte-exact total.
+	if d.AllocBytes < 6*(1<<20) {
+		t.Fatalf("alloc delta %d, want >= %d", d.AllocBytes, 6*(1<<20))
+	}
+	_ = sink
+}
+
+func TestCostSubClamps(t *testing.T) {
+	a := Cost{AllocBytes: 10, CPU: 10}
+	b := Cost{AllocBytes: 30, CPU: 5}
+	d := a.Sub(b)
+	if d.AllocBytes != 0 {
+		t.Errorf("AllocBytes delta = %d, want clamped 0", d.AllocBytes)
+	}
+	if d.CPU != 5 {
+		t.Errorf("CPU delta = %v, want 5", d.CPU)
+	}
+}
+
+func TestCaptureOnceRingAndEviction(t *testing.T) {
+	r := New(Config{CPUDuration: 10 * time.Millisecond, Retain: 3,
+		Load: func() float64 { return 7 }})
+	for i := 0; i < 3; i++ { // 3 ticks x 2 kinds = 6 captures into a ring of 3
+		r.CaptureOnce()
+	}
+	caps, dropped := r.List()
+	if len(caps) != 3 {
+		t.Fatalf("ring holds %d captures, want 3", len(caps))
+	}
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	// Oldest-first, and metadata populated.
+	if caps[0].Seq > caps[len(caps)-1].Seq {
+		t.Errorf("ring not oldest-first: %+v", caps)
+	}
+	for _, c := range caps {
+		if c.Kind != "cpu" && c.Kind != "heap" {
+			t.Errorf("capture kind %q", c.Kind)
+		}
+		if c.ID != fmt.Sprintf("%d-%s", c.Seq, c.Kind) {
+			t.Errorf("capture ID %q does not match seq %d kind %s", c.ID, c.Seq, c.Kind)
+		}
+		if c.Load != 7 {
+			t.Errorf("capture load %v, want 7", c.Load)
+		}
+		if c.Bytes != nil {
+			t.Errorf("List must strip profile bytes")
+		}
+		if c.Err != "" {
+			t.Errorf("capture %s failed: %s", c.ID, c.Err)
+		}
+	}
+	got, ok := r.Get(caps[len(caps)-1].ID)
+	if !ok || len(got.Bytes) == 0 {
+		t.Fatalf("Get(%q) = ok=%v bytes=%d, want profile bytes", caps[len(caps)-1].ID, ok, len(got.Bytes))
+	}
+	if _, ok := r.Get("999-cpu"); ok {
+		t.Error("Get of evicted/unknown ID succeeded")
+	}
+}
+
+func TestCaptureSpillsToDirAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	r := New(Config{CPUDuration: 5 * time.Millisecond, Retain: 2, Dir: dir})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.Stop()
+	r.CaptureOnce()
+	r.CaptureOnce() // second tick evicts the first tick's captures
+	caps, _ := r.List()
+	if len(caps) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(caps))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("dir holds %v, want exactly the 2 retained captures", names)
+	}
+	for _, c := range caps {
+		b, err := os.ReadFile(filepath.Join(dir, c.ID+".pprof"))
+		if err != nil {
+			t.Fatalf("retained capture %s not on disk: %v", c.ID, err)
+		}
+		full, _ := r.Get(c.ID)
+		if !bytes.Equal(b, full.Bytes) {
+			t.Errorf("disk bytes differ from ring bytes for %s", c.ID)
+		}
+	}
+}
+
+func TestCaptureRecordsCPUConflict(t *testing.T) {
+	var sink bytes.Buffer
+	if err := pprof.StartCPUProfile(&sink); err != nil {
+		t.Fatal(err)
+	}
+	defer pprof.StopCPUProfile()
+	r := New(Config{CPUDuration: 5 * time.Millisecond, Retain: 8, Logger: obs.NopLogger()})
+	r.CaptureOnce()
+	caps, _ := r.List()
+	var cpu, heap *Capture
+	for i := range caps {
+		switch caps[i].Kind {
+		case "cpu":
+			cpu = &caps[i]
+		case "heap":
+			heap = &caps[i]
+		}
+	}
+	if cpu == nil || cpu.Err == "" {
+		t.Fatalf("cpu capture should record the profiler conflict, got %+v", cpu)
+	}
+	if heap == nil || heap.Err != "" {
+		t.Fatalf("heap capture should still succeed, got %+v", heap)
+	}
+}
+
+func TestRecorderStartStopTicks(t *testing.T) {
+	r := New(Config{Interval: 20 * time.Millisecond, CPUDuration: 5 * time.Millisecond, Retain: 64})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := obs.Now().Add(5 * time.Second)
+	for {
+		caps, _ := r.List()
+		if len(caps) >= 2 {
+			break
+		}
+		if obs.Now().After(deadline) {
+			t.Fatal("no captures after 5s of 20ms interval")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r.Stop()
+	n0, _ := r.List()
+	time.Sleep(50 * time.Millisecond)
+	n1, _ := r.List()
+	if len(n1) != len(n0) {
+		t.Fatalf("captures kept arriving after Stop: %d -> %d", len(n0), len(n1))
+	}
+}
+
+// TestCaptureCarriesPprofLabels pins the attribution contract end to end at
+// this layer: CPU samples taken by a capture while labeled mining work runs
+// carry {request_id, dataset_fp, phase}. The label strings land in the
+// profile protobuf's string table, so gunzip+Contains is enough to assert
+// presence without a profile parser.
+func TestCaptureCarriesPprofLabels(t *testing.T) {
+	const reqID = "deadbeef-42"
+	ctx := obs.WithMineLabels(context.Background(), reqID, "fp-cafe")
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		obs.DoPhase(ctx, obs.PhaseMine, func(context.Context) {
+			x := 0.0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 1000; i++ {
+					x += float64(i % 7)
+				}
+			}
+		})
+	}()
+	defer func() { close(stop); <-done }()
+
+	// Sampling is statistical (100Hz): retry a few short windows before
+	// declaring the labels missing.
+	for attempt := 0; attempt < 5; attempt++ {
+		r := New(Config{CPUDuration: 300 * time.Millisecond, Retain: 4})
+		r.CaptureOnce()
+		caps, _ := r.List()
+		var raw []byte
+		for _, c := range caps {
+			if c.Kind == "cpu" {
+				full, _ := r.Get(c.ID)
+				raw = full.Bytes
+			}
+		}
+		if len(raw) == 0 {
+			t.Fatal("no cpu capture bytes")
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("cpu capture is not gzipped pprof: %v", err)
+		}
+		proto, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(proto, []byte(obs.LabelRequestID)) &&
+			bytes.Contains(proto, []byte(reqID)) &&
+			bytes.Contains(proto, []byte(obs.LabelPhase)) &&
+			bytes.Contains(proto, []byte("mine")) {
+			return // labels present
+		}
+	}
+	t.Fatal("no capture attempt contained the request_id/phase labels")
+}

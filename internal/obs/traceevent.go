@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"maps"
 	"sort"
 	"strconv"
 )
@@ -73,6 +74,14 @@ func processNameEvent(pid int, name string) TraceEvent {
 // AlignOffset; the output is byte-deterministic in the snapshot alone
 // (grafts are canonicalized), whatever order peers answered in.
 func WriteTraceEvents(w io.Writer, name string, snap TimelineSnapshot) error {
+	return WriteTraceEventsMeta(w, name, snap, nil)
+}
+
+// WriteTraceEventsMeta is WriteTraceEvents with extra otherData entries —
+// exporter context like the producing request's resource cost. Keys in
+// extra must not collide with the exporter's own ("droppedSpans"); values
+// are copied verbatim.
+func WriteTraceEventsMeta(w io.Writer, name string, snap TimelineSnapshot, extra map[string]string) error {
 	events := make([]TraceEvent, 0, len(snap.Spans)+2)
 	events = append(events, processNameEvent(1, name))
 	events = append(events, spanEvents(snap.Spans, 1, 0)...)
@@ -110,8 +119,12 @@ func WriteTraceEvents(w io.Writer, name string, snap TimelineSnapshot) error {
 	}
 
 	f := traceEventFile{TraceEvents: events, DisplayTimeUnit: "ms"}
-	if dropped > 0 {
-		f.OtherData = map[string]string{"droppedSpans": strconv.FormatInt(dropped, 10)}
+	if dropped > 0 || len(extra) > 0 {
+		f.OtherData = make(map[string]string, len(extra)+1)
+		maps.Copy(f.OtherData, extra)
+		if dropped > 0 {
+			f.OtherData["droppedSpans"] = strconv.FormatInt(dropped, 10)
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

@@ -22,6 +22,40 @@ func snapshotFixture() TimelineSnapshot {
 	}
 }
 
+// TestWriteTraceEventsMeta checks extra otherData entries land next to the
+// exporter's own and survive the validator (which rejects unknown
+// top-level fields but not otherData keys).
+func TestWriteTraceEventsMeta(t *testing.T) {
+	snap := snapshotFixture()
+	snap.Dropped = 2
+	var buf bytes.Buffer
+	extra := map[string]string{"requestAllocBytes": "4096", "requestCPUMS": "1.250"}
+	if err := WriteTraceEventsMeta(&buf, "rpmine", snap, extra); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTraceEvents(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("trace with metadata fails validation: %v", err)
+	}
+	var f struct {
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"droppedSpans": "2", "requestAllocBytes": "4096", "requestCPUMS": "1.250",
+	}
+	for k, v := range want {
+		if f.OtherData[k] != v {
+			t.Errorf("otherData[%q] = %q, want %q (all: %v)", k, f.OtherData[k], v, f.OtherData)
+		}
+	}
+	// The caller's map is not retained or mutated.
+	if len(extra) != 2 {
+		t.Errorf("extra map mutated: %v", extra)
+	}
+}
+
 func TestWriteTraceEventsRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteTraceEvents(&buf, "rpmine", snapshotFixture()); err != nil {

@@ -51,6 +51,12 @@ type cachedResult struct {
 	// them as historic.
 	report   obs.PhaseReport
 	timeline obs.TimelineSnapshot
+
+	// allocBytes and cpuTime are the producing run's resource cost,
+	// measured around the single-flight mining section; like mineTime they
+	// are historic on cache hits.
+	allocBytes uint64
+	cpuTime    time.Duration
 }
 
 // resultCache is a mutex-guarded LRU over cachedResults. A non-positive

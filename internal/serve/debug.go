@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,22 +25,24 @@ func (s *Server) journalRecord(rec *accessRecord, start time.Time, elapsed time.
 		return
 	}
 	s.journal.add(&RequestEntry{
-		ID:        rec.id,
-		Start:     start,
-		DB:        rec.db,
-		FP:        rec.fp,
-		Opts:      rec.opts,
-		Outcome:   rec.outcome,
-		Status:    rec.status,
-		Cached:    rec.cached,
-		Patterns:  rec.patterns,
-		QueueMS:   float64(rec.queueWait) / 1e6,
-		MineMS:    float64(rec.mineTime) / 1e6,
-		ElapsedMS: float64(elapsed) / 1e6,
-		Phases:    activePhases(rec.report),
-		Historic:  rec.historic,
-		HasTrace:  len(rec.timeline.Spans) > 0,
-		timeline:  rec.timeline,
+		ID:         rec.id,
+		Start:      start,
+		DB:         rec.db,
+		FP:         rec.fp,
+		Opts:       rec.opts,
+		Outcome:    rec.outcome,
+		Status:     rec.status,
+		Cached:     rec.cached,
+		Patterns:   rec.patterns,
+		QueueMS:    float64(rec.queueWait) / 1e6,
+		MineMS:     float64(rec.mineTime) / 1e6,
+		ElapsedMS:  float64(elapsed) / 1e6,
+		AllocBytes: rec.allocBytes,
+		CPUMS:      float64(rec.cpuTime) / 1e6,
+		Phases:     activePhases(rec.report),
+		Historic:   rec.historic,
+		HasTrace:   len(rec.timeline.Spans) > 0,
+		timeline:   rec.timeline,
 	})
 }
 
@@ -117,7 +120,16 @@ func (s *Server) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "rpserved-"+id+".json"))
 	name := strings.TrimSpace("rpserved mine " + e.DB)
-	_ = obs.WriteTraceEvents(w, name, e.timeline)
+	// Embed the producing run's resource cost so a saved trace carries it
+	// (rptrace prints these next to the span summary).
+	var meta map[string]string
+	if e.AllocBytes > 0 || e.CPUMS > 0 {
+		meta = map[string]string{
+			"requestAllocBytes": strconv.FormatUint(e.AllocBytes, 10),
+			"requestCPUMS":      strconv.FormatFloat(e.CPUMS, 'f', 3, 64),
+		}
+	}
+	_ = obs.WriteTraceEventsMeta(w, name, e.timeline, meta)
 }
 
 // debugRequestsTmpl renders the journal as a self-contained HTML page. The
@@ -126,6 +138,7 @@ func (s *Server) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
 var debugRequestsTmpl = template.Must(template.New("requests").Funcs(template.FuncMap{
 	"ms":     func(v float64) string { return fmt.Sprintf("%.2f", v) },
 	"when":   func(t time.Time) string { return t.Format("15:04:05.000") },
+	"bytes":  humanBytes,
 	"phases": phaseSummary,
 }).Parse(`<!DOCTYPE html>
 <html>
@@ -160,6 +173,8 @@ requests at or above {{ms .SlowThresholdMS}}&nbsp;ms also enter the slow bucket.
 <td class="num">{{ms .QueueMS}}</td>
 <td class="num">{{ms .MineMS}}</td>
 <td class="num">{{ms .ElapsedMS}}</td>
+<td class="num">{{bytes .AllocBytes}}</td>
+<td class="num">{{ms .CPUMS}}</td>
 <td class="phases">{{phases .}}{{if .Historic}} <span class="historic">(historic)</span>{{end}}</td>
 </tr>
 {{end}}
@@ -168,7 +183,7 @@ requests at or above {{ms .SlowThresholdMS}}&nbsp;ms also enter the slow bucket.
 <h2>Recent requests</h2>
 <table>
 <tr><th>start</th><th>id</th><th>db</th><th>outcome</th><th>status</th><th>patterns</th>
-<th>queue&nbsp;ms</th><th>mine&nbsp;ms</th><th>total&nbsp;ms</th><th>phases</th></tr>
+<th>queue&nbsp;ms</th><th>mine&nbsp;ms</th><th>total&nbsp;ms</th><th>alloc</th><th>cpu&nbsp;ms</th><th>phases</th></tr>
 {{template "rows" .Recent}}
 </table>
 
@@ -176,7 +191,7 @@ requests at or above {{ms .SlowThresholdMS}}&nbsp;ms also enter the slow bucket.
 {{if .Slow}}
 <table>
 <tr><th>start</th><th>id</th><th>db</th><th>outcome</th><th>status</th><th>patterns</th>
-<th>queue&nbsp;ms</th><th>mine&nbsp;ms</th><th>total&nbsp;ms</th><th>phases</th></tr>
+<th>queue&nbsp;ms</th><th>mine&nbsp;ms</th><th>total&nbsp;ms</th><th>alloc</th><th>cpu&nbsp;ms</th><th>phases</th></tr>
 {{template "rows" .Slow}}
 </table>
 {{else}}
@@ -185,6 +200,21 @@ requests at or above {{ms .SlowThresholdMS}}&nbsp;ms also enter the slow bucket.
 </body>
 </html>
 `))
+
+// humanBytes renders a byte count for the journal's alloc column: scaled
+// to the largest power-of-two unit with one decimal.
+func humanBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
 
 // phaseSummary renders an entry's phase breakdown on one line: timed
 // phases as "name 1.23ms", count-only phases as "name ×42".

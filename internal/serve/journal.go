@@ -46,6 +46,12 @@ type RequestEntry struct {
 	QueueMS   float64 `json:"queueMS"`
 	MineMS    float64 `json:"mineMS"`
 	ElapsedMS float64 `json:"elapsedMS"`
+	// AllocBytes and CPUMS are the producing mine's resource cost, read as
+	// process-counter deltas around the mining section (historic on cache
+	// hits, an upper bound when mines overlap; zero when nothing was
+	// executed — shed, bad requests, ...).
+	AllocBytes uint64  `json:"allocBytes"`
+	CPUMS      float64 `json:"cpuMS"`
 	// Phases is the per-phase breakdown of the producing mine (only
 	// phases that observed time or work). Historic marks breakdowns
 	// inherited from the cached producing run rather than measured during

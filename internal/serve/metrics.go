@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,26 @@ var histBoundsSeconds = func() []float64 {
 	return s
 }()
 
+// byteBounds are the upper bounds of the per-request allocation histogram,
+// spaced in decades-of-16 because request alloc cost spans from a cached
+// toy mine's bookkeeping to a full-scale run's working set.
+var byteBounds = [...]int64{
+	64 << 10,  // 64 KiB
+	1 << 20,   // 1 MiB
+	16 << 20,  // 16 MiB
+	256 << 20, // 256 MiB
+	4 << 30,   // 4 GiB
+}
+
+// byteBoundsFloat is byteBounds as Prometheus `le` values.
+var byteBoundsFloat = func() []float64 {
+	s := make([]float64, len(byteBounds))
+	for i, b := range byteBounds {
+		s[i] = float64(b)
+	}
+	return s
+}()
+
 // durationHist is one wall-time histogram: per-bucket (non-cumulative)
 // counts plus the total observed time, all updated atomically.
 type durationHist struct {
@@ -57,6 +78,31 @@ func (h *durationHist) snapshot() (buckets [len(histBounds) + 1]int64, nanos int
 	return buckets, h.nanos.Load()
 }
 
+// byteHist is durationHist's shape over byte sizes: per-bucket counts plus
+// the total observed bytes.
+type byteHist struct {
+	buckets [len(byteBounds) + 1]atomic.Int64
+	bytes   atomic.Int64
+}
+
+func (h *byteHist) observe(n int64) {
+	h.bytes.Add(n)
+	for i, b := range byteBounds {
+		if n <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(byteBounds)].Add(1)
+}
+
+func (h *byteHist) snapshot() (buckets [len(byteBounds) + 1]int64, bytes int64) {
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.bytes.Load()
+}
+
 // metrics aggregates the serving counters reported by /v1/stats, exported
 // through /debug/vars, and rendered as Prometheus text by /metrics. Every
 // field is updated atomically; one value is shared by all handler
@@ -78,6 +124,12 @@ type metrics struct {
 	shardRequests atomic.Int64 // POST /v1/shard/mine requests received
 	shardMined    atomic.Int64 // shard tasks executed to completion
 
+	// requestAlloc and requestCPU histogram the per-request resource cost
+	// measured around the executed mining section (leaders and shard tasks;
+	// cache hits re-serve the producing run's cost and are not re-counted).
+	requestAlloc byteHist
+	requestCPU   durationHist
+
 	// phases histograms the per-phase wall time of every executed mine,
 	// one histogram per algorithm phase of the tracer's taxonomy. Nested
 	// phases (ts-merge) record their aggregate time per run like the
@@ -90,6 +142,12 @@ type metrics struct {
 func (m *metrics) observeMineTime(d time.Duration) {
 	m.mined.Add(1)
 	m.mining.observe(d)
+}
+
+// observeCost records one executed mine's resource cost.
+func (m *metrics) observeCost(allocBytes uint64, cpu time.Duration) {
+	m.requestAlloc.observe(int64(allocBytes))
+	m.requestCPU.observe(cpu)
 }
 
 // observeTrace folds one run's phase report into the per-phase histograms.
@@ -128,6 +186,43 @@ func histSnapshot(h *durationHist) []HistBucket {
 	return append(out, HistBucket{LE: "+Inf", LENanos: -1, Count: buckets[len(histBounds)]})
 }
 
+// ByteBucket is one byte-size histogram bucket in a stats snapshot, the
+// bytes analogue of HistBucket.
+type ByteBucket struct {
+	// LE is the bucket's inclusive upper bound, human-formatted
+	// ("64KiB", ..., "+Inf"); LEBytes the same bound in bytes (-1 = +Inf).
+	LE      string `json:"le"`
+	LEBytes int64  `json:"leBytes"`
+	// Count is the number of requests whose alloc cost fell in this bucket
+	// (non-cumulative).
+	Count int64 `json:"count"`
+}
+
+// formatBytes renders a byte bound the way the bounds were chosen: as a
+// power-of-two multiple of KiB/MiB/GiB.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// byteHistSnapshot renders a byteHist's buckets with their bounds.
+func byteHistSnapshot(h *byteHist) []ByteBucket {
+	buckets, _ := h.snapshot()
+	out := make([]ByteBucket, 0, len(buckets))
+	for i, b := range byteBounds {
+		out = append(out, ByteBucket{LE: formatBytes(b), LEBytes: b, Count: buckets[i]})
+	}
+	return append(out, ByteBucket{LE: "+Inf", LEBytes: -1, Count: buckets[len(byteBounds)]})
+}
+
 // MetricsSnapshot is a point-in-time copy of the serving counters.
 type MetricsSnapshot struct {
 	Requests      int64        `json:"requests"`
@@ -146,6 +241,13 @@ type MetricsSnapshot struct {
 
 	ShardRequests int64 `json:"shardRequests"`
 	ShardMined    int64 `json:"shardMined"`
+
+	// Per-request cost: heap allocation and CPU time of executed mining
+	// sections (totals plus their histograms).
+	RequestAllocBytesTotal int64        `json:"requestAllocBytesTotal"`
+	RequestAllocBytes      []ByteBucket `json:"requestAllocBytes"`
+	RequestCPUMSTotal      float64      `json:"requestCPUMSTotal"`
+	RequestCPUTime         []HistBucket `json:"requestCPUTime"`
 }
 
 // snapshot copies the counters. Individual loads are atomic but the
@@ -168,6 +270,11 @@ func (m *metrics) snapshot() MetricsSnapshot {
 
 		ShardRequests: m.shardRequests.Load(),
 		ShardMined:    m.shardMined.Load(),
+
+		RequestAllocBytesTotal: m.requestAlloc.bytes.Load(),
+		RequestAllocBytes:      byteHistSnapshot(&m.requestAlloc),
+		RequestCPUMSTotal:      float64(m.requestCPU.nanos.Load()) / 1e6,
+		RequestCPUTime:         histSnapshot(&m.requestCPU),
 	}
 }
 
@@ -191,6 +298,13 @@ func (m *metrics) writeProm(p *obs.PromWriter) {
 	buckets, nanos := m.mining.snapshot()
 	p.Histogram("rpserved_mining_seconds", "Wall time per executed mining run.",
 		nil, histBoundsSeconds, buckets[:], float64(nanos)/1e9)
+
+	allocBuckets, allocBytes := m.requestAlloc.snapshot()
+	p.Histogram("rpserved_request_alloc_bytes", "Heap bytes allocated per executed mining section.",
+		nil, byteBoundsFloat, allocBuckets[:], float64(allocBytes))
+	cpuBuckets, cpuNanos := m.requestCPU.snapshot()
+	p.Histogram("rpserved_request_cpu_seconds", "Process CPU time consumed per executed mining section.",
+		nil, histBoundsSeconds, cpuBuckets[:], float64(cpuNanos)/1e9)
 
 	for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
 		buckets, nanos := m.phases[ph].snapshot()

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/recurpat/rp/internal/obs"
+)
+
+// parseHistogram pulls one histogram family out of exposition text:
+// ordered (le, cumulative count) pairs plus the _sum and _count samples.
+func parseHistogram(t *testing.T, text, name string) (les []string, counts []int64, sum float64, count int64) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{le=\""):
+			rest := strings.TrimPrefix(line, name+"_bucket{le=\"")
+			le, after, ok := strings.Cut(rest, "\"} ")
+			if !ok {
+				t.Fatalf("malformed bucket line %q", line)
+			}
+			n, err := strconv.ParseInt(after, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count in %q: %v", line, err)
+			}
+			les = append(les, le)
+			counts = append(counts, n)
+		case strings.HasPrefix(line, name+"_sum "):
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+"_sum "), 64)
+			if err != nil {
+				t.Fatalf("sum line %q: %v", line, err)
+			}
+			sum = v
+		case strings.HasPrefix(line, name+"_count "):
+			v, err := strconv.ParseInt(strings.TrimPrefix(line, name+"_count "), 10, 64)
+			if err != nil {
+				t.Fatalf("count line %q: %v", line, err)
+			}
+			count = v
+		}
+	}
+	if len(les) == 0 {
+		t.Fatalf("exposition has no %s_bucket series:\n%s", name, text)
+	}
+	return les, counts, sum, count
+}
+
+// TestCostHistogramExposition pins the new per-request cost families'
+// exposition under concurrent observation: exact `le` bounds, cumulative
+// monotone buckets, and sum/count agreeing with what was observed.
+func TestCostHistogramExposition(t *testing.T) {
+	var m metrics
+	// Values chosen to pin bucket semantics: one exactly on the 64KiB
+	// bound (le is inclusive), one just past it, one in the 16MiB bucket,
+	// one beyond every bound (the +Inf bucket).
+	costs := []struct {
+		alloc uint64
+		cpu   time.Duration
+	}{
+		{64 << 10, time.Millisecond},
+		{64<<10 + 1, 2 * time.Millisecond},
+		{10 << 20, 40 * time.Millisecond},
+		{8 << 30, 2 * time.Second},
+	}
+	const rounds = 50
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c := costs[(g+i)%len(costs)]
+				m.observeCost(c.alloc, c.cpu)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var b strings.Builder
+	p := obs.NewPromWriter(&b)
+	m.writeProm(p)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	les, counts, sum, count := parseHistogram(t, text, "rpserved_request_alloc_bytes")
+	wantLes := []string{"65536", "1048576", "16777216", "268435456", "4294967296", "+Inf"}
+	if len(les) != len(wantLes) {
+		t.Fatalf("le bounds %v, want %v", les, wantLes)
+	}
+	for i := range wantLes {
+		if les[i] != wantLes[i] {
+			t.Errorf("le[%d] = %q, want %q", i, les[i], wantLes[i])
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Errorf("buckets not cumulative: %v", counts)
+		}
+	}
+	total := int64(4 * rounds)
+	if counts[len(counts)-1] != total || count != total {
+		t.Errorf("+Inf bucket %d, _count %d, want %d", counts[len(counts)-1], count, total)
+	}
+	// Each value ran 50 times; the exact-bound value must land in the
+	// 64KiB bucket (inclusive le) and the just-past value outside it.
+	if counts[0] != rounds {
+		t.Errorf("le=65536 bucket = %d, want %d (boundary value inclusive, 65537 excluded)", counts[0], rounds)
+	}
+	var wantSum float64
+	for _, c := range costs {
+		wantSum += float64(c.alloc) * rounds
+	}
+	if sum != wantSum {
+		t.Errorf("alloc sum = %v, want %v", sum, wantSum)
+	}
+
+	_, cpuCounts, cpuSum, cpuCount := parseHistogram(t, text, "rpserved_request_cpu_seconds")
+	if cpuCount != total || cpuCounts[len(cpuCounts)-1] != total {
+		t.Errorf("cpu _count %d, +Inf %d, want %d", cpuCount, cpuCounts[len(cpuCounts)-1], total)
+	}
+	var wantCPU float64
+	for _, c := range costs {
+		wantCPU += c.cpu.Seconds() * rounds
+	}
+	if diff := cpuSum - wantCPU; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cpu sum = %v, want %v", cpuSum, wantCPU)
+	}
+}
+
+// TestFormatBytesExact pins the bucket-bound formatter used for the JSON
+// stats view of the alloc histogram.
+func TestFormatBytesExact(t *testing.T) {
+	for n, want := range map[int64]string{
+		64 << 10:  "64KiB",
+		1 << 20:   "1MiB",
+		16 << 20:  "16MiB",
+		256 << 20: "256MiB",
+		4 << 30:   "4GiB",
+	} {
+		if got := formatBytes(n); got != want {
+			t.Errorf("formatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

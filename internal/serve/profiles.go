@@ -1,0 +1,116 @@
+// The /debug/profiles endpoints serve the continuous-profiling capture
+// ring (internal/obs/prof): a listing of retained CPU/heap captures with
+// their metadata — HTML for humans, JSON for scripts — and per-capture
+// downloads ready for `go tool pprof`.
+package serve
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+
+	"github.com/recurpat/rp/internal/obs/prof"
+)
+
+// profilesResponse is the JSON body of GET /debug/profiles?format=json.
+type profilesResponse struct {
+	// Interval and Retain echo the recorder's knobs.
+	Interval string `json:"interval"`
+	Retain   int    `json:"retain"`
+	// Dropped counts captures evicted from the ring since start.
+	Dropped uint64 `json:"dropped"`
+	// Captures holds the retained captures oldest-first (metadata only;
+	// profile bytes come from /debug/profiles/<id>).
+	Captures []prof.Capture `json:"captures"`
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		http.Error(w, "continuous profiling disabled (Config.ProfileInterval <= 0)", http.StatusNotFound)
+		return
+	}
+	captures, dropped := s.recorder.List()
+	resp := profilesResponse{
+		Interval: s.recorder.Interval().String(),
+		Retain:   s.recorder.Retain(),
+		Dropped:  dropped,
+		Captures: captures,
+	}
+	if r.URL.Query().Get("format") == "json" {
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	// An execute error past the first write only means the client left.
+	_ = profilesTmpl.Execute(w, resp)
+}
+
+// handleProfileDownload serves one capture's pprof bytes. The filename in
+// Content-Disposition embeds the capture ID so saved profiles from a fleet
+// don't collide.
+func (s *Server) handleProfileDownload(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		http.Error(w, "continuous profiling disabled (Config.ProfileInterval <= 0)", http.StatusNotFound)
+		return
+	}
+	id := r.PathValue("id")
+	c, ok := s.recorder.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Sprintf("no retained capture %q (evicted, or never captured)", id))
+		return
+	}
+	if c.Err != "" {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Sprintf("capture %q failed: %s", id, c.Err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "rpserved-"+c.ID+".pprof"))
+	_, _ = w.Write(c.Bytes)
+}
+
+// profilesTmpl renders the capture ring as a self-contained HTML page in
+// the /debug/requests style.
+var profilesTmpl = template.Must(template.New("profiles").Funcs(template.FuncMap{
+	"when":  func(t time.Time) string { return t.Format("15:04:05.000") },
+	"bytes": humanBytes,
+}).Parse(`<!DOCTYPE html>
+<html>
+<head>
+<title>rpserved profile captures</title>
+<style>
+body { font-family: sans-serif; margin: 1.5em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { border: 1px solid #ccc; padding: 4px 8px; text-align: left; font-size: 13px; }
+th { background: #eee; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.err { color: #a00; }
+</style>
+</head>
+<body>
+<h1>rpserved profile captures</h1>
+<p>One CPU profile and one heap snapshot every {{.Interval}}; the ring
+retains the last {{.Retain}} captures ({{.Dropped}} dropped so far).
+Download a capture and inspect it with
+<code>go tool pprof rpserved-&lt;id&gt;.pprof</code>.</p>
+
+<table>
+<tr><th>start</th><th>id</th><th>kind</th><th>window&nbsp;ms</th>
+<th>load</th><th>alloc&nbsp;Δ</th><th>status</th></tr>
+{{range .Captures}}
+<tr>
+<td>{{when .Start}}</td>
+<td>{{if .Err}}{{.ID}}{{else}}<a href="/debug/profiles/{{.ID}}">{{.ID}}</a>{{end}}</td>
+<td>{{.Kind}}</td>
+<td class="num">{{.DurMS}}</td>
+<td class="num">{{.Load}}</td>
+<td class="num">{{bytes .AllocDeltaBytes}}</td>
+<td>{{if .Err}}<span class="err">{{.Err}}</span>{{else}}ok{{end}}</td>
+</tr>
+{{end}}
+</table>
+</body>
+</html>
+`))

@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/recurpat/rp/internal/obs"
+	"github.com/recurpat/rp/internal/tsdb"
+)
+
+func TestProfilesDisabledByDefault(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, nil)
+	for _, path := range []string{"/debug/profiles", "/debug/profiles/1-cpu"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s with profiling off: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestProfilesListAndDownload(t *testing.T) {
+	// A huge interval keeps the background loop quiet; the test drives
+	// captures synchronously for determinism.
+	s, hs := newTestServer(t, Config{ProfileInterval: time.Hour, ProfileRetain: 4}, nil)
+	t.Cleanup(s.Close)
+	s.recorder.CaptureOnce()
+
+	resp, err := http.Get(hs.URL + "/debug/profiles?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list profilesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Captures) != 2 {
+		t.Fatalf("listing has %d captures, want cpu+heap: %+v", len(list.Captures), list)
+	}
+	if list.Retain != 4 || list.Interval != time.Hour.String() {
+		t.Errorf("listing echoes retain=%d interval=%s, want 4 and 1h0m0s", list.Retain, list.Interval)
+	}
+	kinds := map[string]bool{}
+	for _, c := range list.Captures {
+		kinds[c.Kind] = true
+		dl, err := http.Get(hs.URL + "/debug/profiles/" + c.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(dl.Body)
+		dl.Body.Close()
+		if dl.StatusCode != http.StatusOK || len(b) == 0 {
+			t.Fatalf("download %s: status %d, %d bytes", c.ID, dl.StatusCode, len(b))
+		}
+		want := fmt.Sprintf("attachment; filename=%q", "rpserved-"+c.ID+".pprof")
+		if cd := dl.Header.Get("Content-Disposition"); cd != want {
+			t.Errorf("download %s Content-Disposition = %q, want %q", c.ID, cd, want)
+		}
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Errorf("capture kinds %v, want both cpu and heap", kinds)
+	}
+
+	resp, err = http.Get(hs.URL + "/debug/profiles/nope-cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("download of unknown capture: status %d, want 404", resp.StatusCode)
+	}
+
+	// The HTML listing renders without template errors.
+	resp, err = http.Get(hs.URL + "/debug/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(html, []byte("rpserved profile captures")) {
+		t.Errorf("HTML listing missing title: %.200s", html)
+	}
+}
+
+// TestRequestTraceContentDisposition pins the trace download's filename to
+// the request ID, so saved fleet traces don't all land as trace.json.
+func TestRequestTraceContentDisposition(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, nil)
+	status, body := postMine(t, hs.URL, `{"db":"shop","per":4,"minPS":3,"minRec":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("mine: status %d, body %v", status, body)
+	}
+	id := journalIDs(t, hs.URL)[0]
+	resp, err := http.Get(hs.URL + "/debug/requests/trace?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace download: status %d", resp.StatusCode)
+	}
+	want := fmt.Sprintf("attachment; filename=%q", "rpserved-"+id+".json")
+	if cd := resp.Header.Get("Content-Disposition"); cd != want {
+		t.Errorf("Content-Disposition = %q, want %q", cd, want)
+	}
+}
+
+// journalIDs returns the journal's recent request IDs, newest first.
+func journalIDs(t *testing.T, base string) []string {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/requests?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr journalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Recent) == 0 {
+		t.Fatal("journal is empty")
+	}
+	ids := make([]string, len(jr.Recent))
+	for i, e := range jr.Recent {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// TestRequestCostColumns pins the per-request cost plumbing: an executed
+// mine journals nonzero alloc bytes, a cache hit re-serves the producing
+// run's cost as historic, and the totals surface in /v1/stats and the
+// /metrics exposition. The mine targets bigDB because the runtime's heap
+// counters are span-granular — a toy mine's few KB can legitimately read
+// as a zero delta.
+func TestRequestCostColumns(t *testing.T) {
+	s, err := NewServer(Config{}, map[string]*tsdb.DB{"big": bigDB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	body := `{"db":"big","per":9,"minPS":5,"minRec":2}`
+	if status, m := postMine(t, hs.URL, body); status != http.StatusOK {
+		t.Fatalf("mine: status %d, body %v", status, m)
+	}
+	if status, m := postMine(t, hs.URL, body); status != http.StatusOK || m["cached"] != true {
+		t.Fatalf("second mine: status %d, cached %v", status, m["cached"])
+	}
+
+	resp, err := http.Get(hs.URL + "/debug/requests?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr journalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Recent) != 2 {
+		t.Fatalf("journal has %d entries, want 2", len(jr.Recent))
+	}
+	hit, miss := jr.Recent[0], jr.Recent[1]
+	if miss.AllocBytes == 0 {
+		t.Errorf("executed mine journalled allocBytes=0, want nonzero")
+	}
+	if miss.CPUMS < 0 {
+		t.Errorf("executed mine journalled cpuMS=%v, want >= 0", miss.CPUMS)
+	}
+	if !hit.Historic || hit.AllocBytes != miss.AllocBytes {
+		t.Errorf("cache hit should inherit the producing run's cost: historic=%v alloc=%d vs %d",
+			hit.Historic, hit.AllocBytes, miss.AllocBytes)
+	}
+
+	stats := getStats(t, hs.URL)
+	if total := metric(t, stats, "requestAllocBytesTotal"); total != float64(miss.AllocBytes) {
+		t.Errorf("stats requestAllocBytesTotal = %v, want %d (one executed mine)", total, miss.AllocBytes)
+	}
+
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`rpserved_request_alloc_bytes_bucket{le="65536"}`,
+		`rpserved_request_alloc_bytes_bucket{le="+Inf"} 1`,
+		"rpserved_request_alloc_bytes_count 1",
+		`rpserved_request_cpu_seconds_bucket{le="+Inf"} 1`,
+		"rpserved_request_cpu_seconds_count 1",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// bigDB builds a database heavy enough that mining it takes real CPU, so a
+// profile capture window overlapping a stream of mines is dominated by
+// labeled mining samples.
+func bigDB() *tsdb.DB {
+	b := tsdb.NewBuilder()
+	items := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	ts := int64(1)
+	for i := 0; i < 4000; i++ {
+		for j, it := range items {
+			if i%(j+2) == 0 {
+				b.Add(it, ts)
+			}
+		}
+		ts += 3
+	}
+	return b.Build()
+}
+
+// TestMineCapturesLabeledProfile is the serve-level attribution check: a
+// CPU capture taken while /v1/mine requests execute contains the pprof
+// label keys and a real request ID minted by the handler. Sampling is
+// statistical, so the capture window brackets a stream of uncached mines
+// and the assertion retries.
+func TestMineCapturesLabeledProfile(t *testing.T) {
+	s, err := NewServer(Config{
+		ProfileInterval: time.Hour, // background loop quiet; captures driven below
+		CacheSize:       -1,        // every request actually mines
+		MaxParallelism:  2,         // let parallelism:2 reach the worker path
+	}, map[string]*tsdb.DB{"big": bigDB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			w := newNopResponseWriter()
+			r, _ := http.NewRequest("POST", "/v1/mine",
+				strings.NewReader(`{"db":"big","per":9,"minPS":5,"minRec":2,"parallelism":2}`))
+			s.Handler().ServeHTTP(w, r)
+			if w.status != http.StatusOK {
+				t.Errorf("mine during capture: status %d", w.status)
+				return
+			}
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	for attempt := 0; attempt < 5; attempt++ {
+		s.recorder.CaptureOnce()
+		captures, _ := s.recorder.List()
+		var latest string
+		for _, c := range captures {
+			if c.Kind == "cpu" && c.Err == "" {
+				latest = c.ID
+			}
+		}
+		if latest == "" {
+			t.Fatal("no successful cpu capture")
+		}
+		full, _ := s.recorder.Get(latest)
+		zr, err := gzip.NewReader(bytes.NewReader(full.Bytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A real request ID from this server: "<8 hex>-<seq>". Checking for
+		// the label keys plus the process's ID prefix keeps the assertion
+		// independent of which requests got sampled.
+		idPrefix := strings.SplitN(obs.RequestID(), "-", 2)[0]
+		if bytes.Contains(proto, []byte(obs.LabelRequestID)) &&
+			bytes.Contains(proto, []byte(obs.LabelDatasetFP)) &&
+			bytes.Contains(proto, []byte(obs.LabelPhase)) &&
+			bytes.Contains(proto, []byte(idPrefix)) {
+			return
+		}
+	}
+	t.Fatal("no capture attempt contained request_id/dataset_fp/phase labels")
+}
+
+// nopResponseWriter is an in-process ResponseWriter for hammering the
+// handler without HTTP sockets in the way.
+type nopResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func newNopResponseWriter() *nopResponseWriter {
+	return &nopResponseWriter{h: make(http.Header), status: http.StatusOK}
+}
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nopResponseWriter) WriteHeader(status int)      { w.status = status }

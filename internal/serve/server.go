@@ -24,6 +24,7 @@ import (
 	"github.com/recurpat/rp/internal/api"
 	"github.com/recurpat/rp/internal/core"
 	"github.com/recurpat/rp/internal/obs"
+	"github.com/recurpat/rp/internal/obs/prof"
 	"github.com/recurpat/rp/internal/shard"
 	"github.com/recurpat/rp/internal/tsdb"
 )
@@ -105,6 +106,19 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
 	// default: the profiling endpoints can stall the process mid-scrape.
 	Pprof bool
+
+	// ProfileInterval, when positive, turns on continuous profiling: a
+	// background recorder captures a CPU profile and a heap snapshot every
+	// interval into a bounded ring served by GET /debug/profiles. 0 (and
+	// negative) → no recorder. The server must be Closed to stop the
+	// recorder's goroutine.
+	ProfileInterval time.Duration
+	// ProfileRetain bounds the capture ring (entries, both kinds counted).
+	// 0 → 16.
+	ProfileRetain int
+	// ProfileDir, when non-empty, additionally spills each capture to disk
+	// so profiles survive a crash; pruned alongside the ring.
+	ProfileDir string
 
 	// Peers, when non-empty, turns this server into a scatter-gather
 	// coordinator: each executed /v1/mine splits into Shards tasks POSTed
@@ -221,6 +235,11 @@ type Server struct {
 	shardClient *shard.Client
 	coord       *shard.Coordinator
 
+	// recorder is the continuous-profiling capture loop behind
+	// /debug/profiles; nil unless Config.ProfileInterval > 0. Stopped by
+	// Close.
+	recorder *prof.Recorder
+
 	// Drain machinery: beginMine/endMine bracket every mining run (cache
 	// hits excluded — they borrow no resources worth waiting for).
 	drainMu  sync.Mutex
@@ -273,6 +292,19 @@ func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
 	}
 	sort.Strings(s.names)
 
+	if cfg.ProfileInterval > 0 {
+		s.recorder = prof.New(prof.Config{
+			Interval: cfg.ProfileInterval,
+			Retain:   cfg.ProfileRetain,
+			Dir:      cfg.ProfileDir,
+			Load:     func() float64 { return float64(s.adm.inFlight()) },
+			Logger:   cfg.Logger,
+		})
+		if err := s.recorder.Start(); err != nil {
+			return nil, err
+		}
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
 	mux.HandleFunc("POST /v1/shard/mine", s.handleShardMine)
@@ -286,6 +318,8 @@ func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("GET /debug/requests/trace", s.handleRequestTrace)
+	mux.HandleFunc("GET /debug/profiles", s.handleProfiles)
+	mux.HandleFunc("GET /debug/profiles/{id}", s.handleProfileDownload)
 	if cfg.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -299,6 +333,15 @@ func NewServer(cfg Config, dbs map[string]*tsdb.DB) (*Server, error) {
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Close releases the server's background resources — today that is the
+// continuous-profiling recorder. It does not drain; call Drain first.
+// Safe to call when profiling is off, and at most once otherwise.
+func (s *Server) Close() {
+	if s.recorder != nil {
+		s.recorder.Stop()
+	}
+}
 
 // PublishExpvar exposes this server's stats payload as the expvar variable
 // "rpserved" (rendered by GET /debug/vars alongside the runtime's
@@ -389,6 +432,12 @@ type accessRecord struct {
 	queueWait time.Duration // time spent waiting for a mining slot (leaders only)
 	mineTime  time.Duration // the producing mine's wall time (historic on cache hits)
 
+	// allocBytes and cpuTime are the producing mine's resource cost,
+	// measured as process-counter deltas around the single-flight mining
+	// section (historic on cache hits; an upper bound when mines overlap).
+	allocBytes uint64
+	cpuTime    time.Duration
+
 	// Journal-only fields: the producing run's per-phase report and span
 	// timeline, and whether they were inherited from a cached result
 	// rather than measured during this request.
@@ -400,6 +449,7 @@ type accessRecord struct {
 // inherit fills the record's producing-run fields from a cached result.
 func (rec *accessRecord) inherit(v *cachedResult) {
 	rec.mineTime = v.mineTime
+	rec.allocBytes, rec.cpuTime = v.allocBytes, v.cpuTime
 	rec.report, rec.timeline, rec.historic = v.report, v.timeline, true
 }
 
@@ -436,6 +486,8 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			"patterns", rec.patterns,
 			"queueMS", float64(rec.queueWait)/1e6,
 			"mineMS", float64(rec.mineTime)/1e6,
+			"allocBytes", rec.allocBytes,
+			"cpuMS", float64(rec.cpuTime)/1e6,
 			"elapsedMS", float64(elapsed)/1e6)
 		s.journalRecord(rec, start, elapsed)
 	}()
@@ -607,8 +659,11 @@ func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key 
 	}
 	// Stamp the request's ID on the mining context: in peers mode the shard
 	// client forwards it to every peer (request body and X-Request-Id), so
-	// the coordinator's and the peers' journals join on one ID.
+	// the coordinator's and the peers' journals join on one ID. The pprof
+	// labels make any continuous-profiling CPU capture taken during the run
+	// attribute its samples to this request and database.
 	mctx = obs.WithRequestID(mctx, rec.id)
+	mctx = obs.WithMineLabels(mctx, rec.id, fmt.Sprintf("%016x", ent.fp))
 
 	// Each executed mine gets its own trace so the per-phase histograms
 	// see per-run attributions, not a shared running total. With the
@@ -621,6 +676,7 @@ func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key 
 		o.Trace.AttachTimeline(tl)
 	}
 	begin := now()
+	cost0 := prof.ReadCost()
 	var (
 		res     *core.Result
 		partial bool
@@ -643,10 +699,17 @@ func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key 
 		}
 	}
 	d := time.Since(begin)
+	// Process-counter deltas around the mining section: exact while one
+	// mine runs at a time, an upper bound when mines overlap (the journal
+	// and docs say so). CPU is rusage-based, so it includes all worker
+	// goroutines' time, which is the point.
+	cost := prof.ReadCost().Sub(cost0)
 	rec.mineTime = d
+	rec.allocBytes, rec.cpuTime = cost.AllocBytes, cost.CPU
 	report := o.Trace.Report()
 	s.metrics.observeMineTime(d)
 	s.metrics.observeTrace(report)
+	s.metrics.observeCost(cost.AllocBytes, cost.CPU)
 	rec.report, rec.timeline = report, tl.Snapshot()
 
 	v := &cachedResult{
@@ -657,6 +720,8 @@ func (s *Server) runMine(ctx context.Context, ent *dbEntry, o core.Options, key 
 		mineTime:     d,
 		report:       rec.report,
 		timeline:     rec.timeline,
+		allocBytes:   cost.AllocBytes,
+		cpuTime:      cost.CPU,
 	}
 	if !partial {
 		// A partial result is one outage away from being wrong twice: never
@@ -713,6 +778,8 @@ func (s *Server) handleShardMine(w http.ResponseWriter, r *http.Request) {
 			"patterns", rec.patterns,
 			"queueMS", float64(rec.queueWait)/1e6,
 			"mineMS", float64(rec.mineTime)/1e6,
+			"allocBytes", rec.allocBytes,
+			"cpuMS", float64(rec.cpuTime)/1e6,
 			"elapsedMS", float64(elapsed)/1e6)
 		s.journalRecord(rec, start, elapsed)
 	}()
@@ -795,7 +862,12 @@ func (s *Server) handleShardMine(w http.ResponseWriter, r *http.Request) {
 		mctx, cancel = context.WithTimeout(mctx, s.cfg.MineTimeout)
 		defer cancel()
 	}
+	// Label the shard task with the coordinator's propagated request ID, so
+	// a profile captured on this peer attributes samples to the same ID the
+	// fleet's journals join on.
+	mctx = obs.WithMineLabels(mctx, rec.id, fmt.Sprintf("%016x", ent.fp))
 	begin := now()
+	cost0 := prof.ReadCost()
 	res, err := core.MineShardContext(mctx, ent.db, o, spec)
 	if err != nil {
 		switch {
@@ -815,9 +887,12 @@ func (s *Server) handleShardMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.shardMined.Add(1)
+	cost := prof.ReadCost().Sub(cost0)
 	rec.mineTime = time.Since(begin)
+	rec.allocBytes, rec.cpuTime = cost.AllocBytes, cost.CPU
 	rec.patterns = len(res.Patterns)
 	rec.report = o.Trace.Report()
+	s.metrics.observeCost(cost.AllocBytes, cost.CPU)
 	resp := api.ShardMineResponse{
 		V:           api.Version,
 		Fingerprint: fmt.Sprintf("%016x", ent.fp),
